@@ -1,0 +1,24 @@
+"""Benchmark A3 — ablation: defense feature subsets.
+
+Regenerates the paper artefact via ``repro.experiments.a3_defense_features``;
+the rendered table is printed so the run log doubles as the
+reproduction record (see EXPERIMENTS.md). The benchmark timing itself
+measures the full experiment pipeline once (pedantic single round —
+these are system experiments, not microbenchmarks).
+
+Run ``REPRO_FULL=1 pytest benchmarks/bench_a3_defense_features.py --benchmark-only``
+for the full-resolution (non-quick) variant used in EXPERIMENTS.md.
+"""
+
+import os
+
+from repro.experiments import a3_defense_features
+
+
+def test_a3_defense_features(benchmark):
+    quick = os.environ.get("REPRO_FULL", "") != "1"
+    table = benchmark.pedantic(
+        lambda: a3_defense_features.run(quick=quick, seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(table.render())

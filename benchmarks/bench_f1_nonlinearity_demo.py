@@ -1,0 +1,24 @@
+"""Benchmark F1 — the microphone-nonlinearity demodulation demo.
+
+Regenerates the paper artefact via ``repro.experiments.f1_nonlinearity_demo``;
+the rendered table is printed so the run log doubles as the
+reproduction record (see EXPERIMENTS.md). The benchmark timing itself
+measures the full experiment pipeline once (pedantic single round —
+these are system experiments, not microbenchmarks).
+
+Run ``REPRO_FULL=1 pytest benchmarks/bench_f1_nonlinearity_demo.py --benchmark-only``
+for the full-resolution (non-quick) variant used in EXPERIMENTS.md.
+"""
+
+import os
+
+from repro.experiments import f1_nonlinearity_demo
+
+
+def test_f1_nonlinearity_demo(benchmark):
+    quick = os.environ.get("REPRO_FULL", "") != "1"
+    table = benchmark.pedantic(
+        lambda: f1_nonlinearity_demo.run(quick=quick, seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(table.render())

@@ -1,0 +1,24 @@
+"""Benchmark F2 — single-speaker audible leakage vs drive power.
+
+Regenerates the paper artefact via ``repro.experiments.f2_speaker_leakage``;
+the rendered table is printed so the run log doubles as the
+reproduction record (see EXPERIMENTS.md). The benchmark timing itself
+measures the full experiment pipeline once (pedantic single round —
+these are system experiments, not microbenchmarks).
+
+Run ``REPRO_FULL=1 pytest benchmarks/bench_f2_speaker_leakage.py --benchmark-only``
+for the full-resolution (non-quick) variant used in EXPERIMENTS.md.
+"""
+
+import os
+
+from repro.experiments import f2_speaker_leakage
+
+
+def test_f2_speaker_leakage(benchmark):
+    quick = os.environ.get("REPRO_FULL", "") != "1"
+    table = benchmark.pedantic(
+        lambda: f2_speaker_leakage.run(quick=quick, seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(table.render())

@@ -1,0 +1,24 @@
+"""Benchmark F5 — per-chunk audibility across array sizes.
+
+Regenerates the paper artefact via ``repro.experiments.f5_split_audibility``;
+the rendered table is printed so the run log doubles as the
+reproduction record (see EXPERIMENTS.md). The benchmark timing itself
+measures the full experiment pipeline once (pedantic single round —
+these are system experiments, not microbenchmarks).
+
+Run ``REPRO_FULL=1 pytest benchmarks/bench_f5_split_audibility.py --benchmark-only``
+for the full-resolution (non-quick) variant used in EXPERIMENTS.md.
+"""
+
+import os
+
+from repro.experiments import f5_split_audibility
+
+
+def test_f5_split_audibility(benchmark):
+    quick = os.environ.get("REPRO_FULL", "") != "1"
+    table = benchmark.pedantic(
+        lambda: f5_split_audibility.run(quick=quick, seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(table.render())

@@ -1,0 +1,24 @@
+"""Benchmark F6 — per-device success vs distance.
+
+Regenerates the paper artefact via ``repro.experiments.f6_device_accuracy``;
+the rendered table is printed so the run log doubles as the
+reproduction record (see EXPERIMENTS.md). The benchmark timing itself
+measures the full experiment pipeline once (pedantic single round —
+these are system experiments, not microbenchmarks).
+
+Run ``REPRO_FULL=1 pytest benchmarks/bench_f6_device_accuracy.py --benchmark-only``
+for the full-resolution (non-quick) variant used in EXPERIMENTS.md.
+"""
+
+import os
+
+from repro.experiments import f6_device_accuracy
+
+
+def test_f6_device_accuracy(benchmark):
+    quick = os.environ.get("REPRO_FULL", "") != "1"
+    table = benchmark.pedantic(
+        lambda: f6_device_accuracy.run(quick=quick, seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(table.render())

@@ -1,0 +1,24 @@
+"""Benchmark F7 — defense trace feature separation.
+
+Regenerates the paper artefact via ``repro.experiments.f7_defense_traces``;
+the rendered table is printed so the run log doubles as the
+reproduction record (see EXPERIMENTS.md). The benchmark timing itself
+measures the full experiment pipeline once (pedantic single round —
+these are system experiments, not microbenchmarks).
+
+Run ``REPRO_FULL=1 pytest benchmarks/bench_f7_defense_traces.py --benchmark-only``
+for the full-resolution (non-quick) variant used in EXPERIMENTS.md.
+"""
+
+import os
+
+from repro.experiments import f7_defense_traces
+
+
+def test_f7_defense_traces(benchmark):
+    quick = os.environ.get("REPRO_FULL", "") != "1"
+    table = benchmark.pedantic(
+        lambda: f7_defense_traces.run(quick=quick, seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(table.render())

@@ -1,0 +1,24 @@
+"""Benchmark F9 — adaptive attacker vs defense.
+
+Regenerates the paper artefact via ``repro.experiments.f9_adaptive_attacker``;
+the rendered table is printed so the run log doubles as the
+reproduction record (see EXPERIMENTS.md). The benchmark timing itself
+measures the full experiment pipeline once (pedantic single round —
+these are system experiments, not microbenchmarks).
+
+Run ``REPRO_FULL=1 pytest benchmarks/bench_f9_adaptive_attacker.py --benchmark-only``
+for the full-resolution (non-quick) variant used in EXPERIMENTS.md.
+"""
+
+import os
+
+from repro.experiments import f9_adaptive_attacker
+
+
+def test_f9_adaptive_attacker(benchmark):
+    quick = os.environ.get("REPRO_FULL", "") != "1"
+    table = benchmark.pedantic(
+        lambda: f9_adaptive_attacker.run(quick=quick, seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(table.render())

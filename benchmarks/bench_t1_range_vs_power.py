@@ -1,0 +1,24 @@
+"""Benchmark T1 — attack range vs speaker input power.
+
+Regenerates the paper artefact via ``repro.experiments.t1_range_vs_power``;
+the rendered table is printed so the run log doubles as the
+reproduction record (see EXPERIMENTS.md). The benchmark timing itself
+measures the full experiment pipeline once (pedantic single round —
+these are system experiments, not microbenchmarks).
+
+Run ``REPRO_FULL=1 pytest benchmarks/bench_t1_range_vs_power.py --benchmark-only``
+for the full-resolution (non-quick) variant used in EXPERIMENTS.md.
+"""
+
+import os
+
+from repro.experiments import t1_range_vs_power
+
+
+def test_t1_range_vs_power(benchmark):
+    quick = os.environ.get("REPRO_FULL", "") != "1"
+    table = benchmark.pedantic(
+        lambda: t1_range_vs_power.run(quick=quick, seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(table.render())

@@ -1,0 +1,24 @@
+"""Benchmark T2 — end-to-end success rates.
+
+Regenerates the paper artefact via ``repro.experiments.t2_success_rates``;
+the rendered table is printed so the run log doubles as the
+reproduction record (see EXPERIMENTS.md). The benchmark timing itself
+measures the full experiment pipeline once (pedantic single round —
+these are system experiments, not microbenchmarks).
+
+Run ``REPRO_FULL=1 pytest benchmarks/bench_t2_success_rates.py --benchmark-only``
+for the full-resolution (non-quick) variant used in EXPERIMENTS.md.
+"""
+
+import os
+
+from repro.experiments import t2_success_rates
+
+
+def test_t2_success_rates(benchmark):
+    quick = os.environ.get("REPRO_FULL", "") != "1"
+    table = benchmark.pedantic(
+        lambda: t2_success_rates.run(quick=quick, seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(table.render())

@@ -1,0 +1,56 @@
+"""Train and evaluate the inaudible-command defense.
+
+Builds a physically simulated dataset (genuine playbacks vs attacked
+recordings), trains the trace-based detector, and reports ROC/accuracy
+— including on a command the detector never saw in training.
+
+Run: ``python examples/defense_detection.py``   (takes ~1 minute)
+"""
+
+import numpy as np
+
+from repro import DatasetConfig, InaudibleVoiceDetector, build_dataset
+from repro.defense import roc_curve
+
+# 1. Physically simulate labelled recordings.
+config = DatasetConfig(
+    commands=("ok_google", "alexa", "add_milk"),
+    distances_m=(1.0, 2.0, 3.0),
+    n_trials=5,
+    attacker_kind="single_full",
+    seed=42,
+)
+dataset = build_dataset(config)
+print(f"dataset: {dataset.n_samples} recordings "
+      f"({int(dataset.labels.sum())} attacked)")
+
+# 2. Train/test split and training.
+rng = np.random.default_rng(0)
+train, test = dataset.split(0.6, rng)
+detector = InaudibleVoiceDetector().fit(train)
+
+# 3. Headline numbers.
+scores = detector.scores_for(test)
+roc = roc_curve(test.labels, scores)
+confusion = detector.evaluate(test)
+print(f"test AUC        : {roc.auc():.3f}")
+print(f"test accuracy   : {confusion.accuracy:.3f}")
+print(f"detection rate  : {confusion.true_positive_rate:.3f}")
+print(f"false alarms    : {confusion.false_positive_rate:.3f}")
+
+# 4. Generalisation: hold out a command entirely.
+train_known = dataset.filter(lambda m: m["command"] != "add_milk")
+test_unknown = dataset.filter(lambda m: m["command"] == "add_milk")
+held_out = InaudibleVoiceDetector().fit(train_known)
+confusion_unknown = held_out.evaluate(test_unknown)
+print(
+    "held-out command ('add milk to my shopping list') accuracy: "
+    f"{confusion_unknown.accuracy:.3f}"
+)
+
+# 5. What the detector actually looks at.
+print("\nper-feature class means (genuine vs attacked):")
+for index, name in enumerate(dataset.feature_names):
+    genuine = dataset.features[dataset.labels == 0, index].mean()
+    attacked = dataset.features[dataset.labels == 1, index].mean()
+    print(f"  {name:28s} {genuine:8.2f}  vs {attacked:8.2f}")

@@ -1,0 +1,80 @@
+"""The defended end state: an assistant that cannot be commanded silently.
+
+Installs the trained detector in front of the recogniser
+(`GuardedVoiceAssistant`) and replays both a genuine spoken command and
+a working inaudible injection against it. The genuine command executes;
+the injection — which *does* fool the recogniser — is vetoed.
+
+Run: ``python examples/protected_assistant.py``   (takes ~30 s)
+"""
+
+import numpy as np
+
+from repro import (
+    AcousticChannel,
+    DatasetConfig,
+    InaudibleVoiceDetector,
+    KeywordRecognizer,
+    Position,
+    SingleSpeakerAttacker,
+    android_phone_microphone,
+    build_dataset,
+    horn_tweeter,
+    synthesize_command,
+)
+from repro.attack import AudiblePlaybackAttacker
+from repro.defense import GuardedVoiceAssistant
+
+rng = np.random.default_rng(23)
+ORIGIN = Position(0.0, 2.0, 1.0)
+MIC_AT = Position(2.0, 2.0, 1.0)
+
+# Assemble the protected device: enrolled recogniser + trained guard.
+recognizer = KeywordRecognizer()
+enroll_rng = np.random.default_rng(1234)
+for name in ("ok_google", "alexa", "take_a_picture"):
+    recognizer.enroll_multi_condition(
+        name, synthesize_command(name, enroll_rng), enroll_rng
+    )
+detector = InaudibleVoiceDetector().fit(
+    build_dataset(
+        DatasetConfig(
+            commands=("ok_google", "alexa"),
+            distances_m=(1.0, 2.0),
+            n_trials=4,
+            attacker_kind="single_full",
+            seed=8,
+        )
+    )
+)
+assistant = GuardedVoiceAssistant(recognizer, detector)
+
+microphone = android_phone_microphone()
+channel = AcousticChannel(room=None, ambient_noise_spl=40.0)
+voice = synthesize_command("ok_google", rng)
+
+# A person says the command out loud.
+spoken = AudiblePlaybackAttacker(ORIGIN, speech_spl_at_1m=63.0).emit(voice)
+recording = microphone.record(
+    channel.receive(list(spoken.sources), MIC_AT, rng), rng
+)
+outcome = assistant.process(recording)
+print(
+    f"spoken command : recognised={outcome.recognition.command!r} "
+    f"vetoed={outcome.vetoed} executed={outcome.executed_command!r}"
+)
+
+# An attacker injects the same command inaudibly.
+injected = SingleSpeakerAttacker(horn_tweeter(), ORIGIN).emit(voice, 1.0)
+recording = microphone.record(
+    channel.receive(list(injected.sources), MIC_AT, rng), rng
+)
+outcome = assistant.process(recording)
+print(
+    f"injected command: recognised={outcome.recognition.command!r} "
+    f"vetoed={outcome.vetoed} executed={outcome.executed_command!r} "
+    f"(detector score {outcome.detection.score:.3f})"
+)
+
+assert outcome.vetoed and outcome.executed_command is None
+print("\nThe recogniser was fooled; the guard was not.")

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+The canonical metadata lives in pyproject.toml; this file only exists
+so that `pip install -e . --no-build-isolation` can fall back to the
+legacy `setup.py develop` path on offline machines where PEP 660
+editable builds (which require the `wheel` package) are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

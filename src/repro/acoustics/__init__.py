@@ -1,0 +1,65 @@
+"""Acoustic propagation substrate.
+
+Models the physical path between the attacker's ultrasonic speakers and
+the victim's microphone:
+
+``spl``
+    Sound-pressure-level conversions (pascal <-> dB SPL) and source
+    power <-> on-axis SPL.
+``atmosphere``
+    ISO 9613-1 atmospheric absorption. Ultrasound absorbs on the order
+    of 0.5-3 dB/m at 25-60 kHz — this, together with spreading loss, is
+    the physical mechanism that limits attack range and motivates the
+    paper's multi-speaker design.
+``geometry``
+    3-D positions, distances and simple room boxes.
+``propagation``
+    Point-to-point propagation: spherical spreading, frequency-
+    dependent absorption, time-of-flight delay.
+``room``
+    First-order image-source reflections inside a rectangular room.
+``channel``
+    Multi-source to single-microphone acoustic channel: the place where
+    the per-speaker waves of the split attack physically mix.
+"""
+
+from repro.acoustics.spl import (
+    AIR_DENSITY,
+    REFERENCE_PRESSURE,
+    SPEED_OF_SOUND,
+    pressure_to_spl,
+    source_power_to_spl_at_1m,
+    spl_at_distance,
+    spl_to_pressure,
+)
+from repro.acoustics.atmosphere import (
+    AtmosphericConditions,
+    absorption_coefficient_db_per_m,
+)
+from repro.acoustics.geometry import Position, Room, distance
+from repro.acoustics.propagation import (
+    PropagationModel,
+    propagation_loss_db,
+)
+from repro.acoustics.room import ImageSourceRoomModel
+from repro.acoustics.channel import AcousticChannel, PlacedSource
+
+__all__ = [
+    "REFERENCE_PRESSURE",
+    "SPEED_OF_SOUND",
+    "AIR_DENSITY",
+    "pressure_to_spl",
+    "spl_to_pressure",
+    "spl_at_distance",
+    "source_power_to_spl_at_1m",
+    "AtmosphericConditions",
+    "absorption_coefficient_db_per_m",
+    "Position",
+    "Room",
+    "distance",
+    "PropagationModel",
+    "propagation_loss_db",
+    "ImageSourceRoomModel",
+    "AcousticChannel",
+    "PlacedSource",
+]

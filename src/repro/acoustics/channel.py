@@ -1,0 +1,133 @@
+"""The multi-source acoustic channel.
+
+This is the physical stage on which the long-range attack plays out:
+each ultrasonic speaker radiates its own waveform; the channel
+propagates every waveform (direct path plus reflections if a room is
+given) to the victim microphone's diaphragm and sums the pressures.
+Only *after* this summation does the microphone's nonlinearity square
+the total — which is why spectral slices radiated from different
+speakers can recombine into a full voice command that no single
+speaker ever emitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.acoustics.geometry import Position, Room
+from repro.acoustics.propagation import PropagationModel
+from repro.acoustics.room import ImageSourceRoomModel
+from repro.dsp.signals import Signal, Unit, mix, white_noise
+from repro.errors import GeometryError, SignalDomainError
+
+
+@dataclass(frozen=True)
+class PlacedSource:
+    """A pressure waveform (referenced to 1 m) at a spatial position."""
+
+    pressure_at_1m: Signal
+    position: Position
+
+    def __post_init__(self) -> None:
+        if self.pressure_at_1m.unit != Unit.PASCAL:
+            raise SignalDomainError(
+                "PlacedSource requires a pressure waveform in pascals, "
+                f"got unit {self.pressure_at_1m.unit!r}"
+            )
+
+
+@dataclass
+class AcousticChannel:
+    """Propagates multiple sources to one receiving point.
+
+    Parameters
+    ----------
+    room:
+        Optional rectangular room; when given, first-order reflections
+        are included and positions are validated against the room.
+        When ``None`` the channel is free field (direct path only).
+    propagation:
+        Point-to-point propagation model shared by all paths.
+    ambient_noise_spl:
+        SPL of the background noise floor added at the receiver,
+        dB SPL. Quiet rooms are ~35-45 dB SPL. ``None`` disables noise
+        (useful for deterministic analyses).
+    """
+
+    room: Room | None = None
+    propagation: PropagationModel = field(default_factory=PropagationModel)
+    ambient_noise_spl: float | None = 40.0
+
+    def receive(
+        self,
+        sources: list[PlacedSource],
+        receiver: Position,
+        rng: np.random.Generator | None = None,
+    ) -> Signal:
+        """Pressure waveform arriving at ``receiver`` from all sources.
+
+        Parameters
+        ----------
+        sources:
+            Placed source waveforms; all must share one sample rate.
+        receiver:
+            Microphone position.
+        rng:
+            Random generator for the ambient noise. Required when
+            ``ambient_noise_spl`` is set, to keep runs reproducible.
+        """
+        if not sources:
+            raise SignalDomainError("receive requires at least one source")
+        rates = {s.pressure_at_1m.sample_rate for s in sources}
+        if len(rates) != 1:
+            raise SignalDomainError(
+                f"all sources must share one sample rate, got {sorted(rates)}"
+            )
+        contributions = []
+        for source in sources:
+            contributions.append(
+                self._transmit_one(
+                    source.pressure_at_1m, source.position, receiver
+                )
+            )
+        total = mix(contributions)
+        if self.ambient_noise_spl is not None:
+            if rng is None:
+                raise SignalDomainError(
+                    "ambient noise enabled but no random generator given; "
+                    "pass rng or set ambient_noise_spl=None"
+                )
+            total = total + self._ambient_noise(total, rng)
+        return total
+
+    def _transmit_one(
+        self, pressure_at_1m: Signal, source: Position, receiver: Position
+    ) -> Signal:
+        if self.room is not None:
+            model = ImageSourceRoomModel(
+                room=self.room, propagation=self.propagation
+            )
+            return model.transmit(pressure_at_1m, source, receiver)
+        d = source.distance_to(receiver)
+        if d == 0.0:
+            raise GeometryError(
+                "source and receiver are coincident; no propagation "
+                "path exists"
+            )
+        return self.propagation.propagate(pressure_at_1m, d)
+
+    def _ambient_noise(
+        self, template: Signal, rng: np.random.Generator
+    ) -> Signal:
+        from repro.acoustics.spl import spl_to_pressure
+
+        rms_pa = spl_to_pressure(self.ambient_noise_spl)
+        return white_noise(
+            duration=template.duration,
+            sample_rate=template.sample_rate,
+            rng=rng,
+            rms_level=rms_pa,
+            unit=Unit.PASCAL,
+        ).padded_to(template.n_samples)

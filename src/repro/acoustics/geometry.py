@@ -1,0 +1,119 @@
+"""Spatial primitives: positions, distances and rectangular rooms."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import GeometryError
+
+
+@dataclass(frozen=True)
+class Position:
+    """A point in 3-D space, metres.
+
+    The coordinate frame is arbitrary but consistent within a scenario;
+    rooms place one corner at the origin with walls along the axes.
+    """
+
+    x: float
+    y: float
+    z: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name, value in (("x", self.x), ("y", self.y), ("z", self.z)):
+            if not math.isfinite(value):
+                raise GeometryError(f"coordinate {name} must be finite")
+
+    def distance_to(self, other: "Position") -> float:
+        """Euclidean distance to another position, metres."""
+        return math.sqrt(
+            (self.x - other.x) ** 2
+            + (self.y - other.y) ** 2
+            + (self.z - other.z) ** 2
+        )
+
+    def translated(self, dx: float, dy: float, dz: float = 0.0) -> "Position":
+        """Return a new position offset by the given deltas."""
+        return Position(self.x + dx, self.y + dy, self.z + dz)
+
+    def mirrored(self, axis: str, plane_coordinate: float) -> "Position":
+        """Reflect across an axis-aligned plane (used by image sources)."""
+        if axis == "x":
+            return Position(2 * plane_coordinate - self.x, self.y, self.z)
+        if axis == "y":
+            return Position(self.x, 2 * plane_coordinate - self.y, self.z)
+        if axis == "z":
+            return Position(self.x, self.y, 2 * plane_coordinate - self.z)
+        raise GeometryError(f"axis must be 'x', 'y' or 'z', got {axis!r}")
+
+
+def distance(a: Position, b: Position) -> float:
+    """Euclidean distance between two positions, metres."""
+    return a.distance_to(b)
+
+
+@dataclass(frozen=True)
+class Room:
+    """An axis-aligned rectangular room with one corner at the origin.
+
+    Attributes
+    ----------
+    length_m, width_m, height_m:
+        Interior dimensions along x, y, z.
+    wall_absorption:
+        Fraction of incident *energy* absorbed per wall reflection, in
+        ``[0, 1]``. Typical meeting rooms are 0.2-0.6; ultrasound is
+        absorbed more strongly than audible sound by soft surfaces, so
+        attack scenarios default to a fairly dead 0.5.
+    """
+
+    length_m: float
+    width_m: float
+    height_m: float
+    wall_absorption: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("length_m", self.length_m),
+            ("width_m", self.width_m),
+            ("height_m", self.height_m),
+        ):
+            if value <= 0:
+                raise GeometryError(f"{name} must be positive, got {value}")
+        if not 0.0 <= self.wall_absorption <= 1.0:
+            raise GeometryError(
+                f"wall_absorption must be in [0, 1], got "
+                f"{self.wall_absorption}"
+            )
+
+    def contains(self, position: Position) -> bool:
+        """True if the position lies inside (or on the boundary of) the room."""
+        return (
+            0.0 <= position.x <= self.length_m
+            and 0.0 <= position.y <= self.width_m
+            and 0.0 <= position.z <= self.height_m
+        )
+
+    def require_inside(self, position: Position, label: str) -> None:
+        """Raise :class:`GeometryError` if a position is outside the room."""
+        if not self.contains(position):
+            raise GeometryError(
+                f"{label} at ({position.x}, {position.y}, {position.z}) "
+                f"is outside the {self.length_m} x {self.width_m} x "
+                f"{self.height_m} m room"
+            )
+
+    def reflection_amplitude(self) -> float:
+        """Pressure-amplitude factor applied per wall bounce.
+
+        Energy absorption ``a`` leaves a fraction ``1 - a`` of energy,
+        i.e. ``sqrt(1 - a)`` of pressure amplitude.
+        """
+        return math.sqrt(1.0 - self.wall_absorption)
+
+    @staticmethod
+    def meeting_room() -> "Room":
+        """The 6.5 x 4 x 2.5 m closed meeting room used by the
+        evaluation (dimensions taken from the attack literature)."""
+        return Room(length_m=6.5, width_m=4.0, height_m=2.5)

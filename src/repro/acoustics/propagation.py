@@ -1,0 +1,143 @@
+"""Point-to-point acoustic propagation.
+
+A source waveform is referenced to its on-axis pressure at one metre
+(the standard way loudspeaker output is specified). Propagation to a
+receiver applies:
+
+* spherical spreading — pressure falls as ``1/d``;
+* atmospheric absorption — frequency dependent (ISO 9613-1), applied as
+  a zero-phase FFT-domain gain so a wideband attack signal has each
+  component attenuated correctly;
+* time of flight — a fractional-sample delay at 343 m/s.
+
+The frequency dependence matters: at three metres a 2 kHz voice band
+loses ~0.05 dB to absorption while a 40 kHz carrier loses ~4 dB, which
+is precisely the asymmetry that forces inaudible attackers to crank up
+power and thereby betray themselves via speaker leakage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.acoustics.atmosphere import (
+    AtmosphericConditions,
+    absorption_coefficient_db_per_m,
+)
+from repro.acoustics.spl import SPEED_OF_SOUND
+from repro.dsp.signals import Signal, Unit
+from repro.errors import SignalDomainError
+
+
+def propagation_loss_db(
+    frequency_hz: float,
+    distance_m: float,
+    conditions: AtmosphericConditions | None = None,
+) -> float:
+    """Total loss in dB from 1 m to ``distance_m`` for a pure tone.
+
+    Combines ``20 log10(d)`` spreading with ISO 9613-1 absorption. At
+    exactly one metre the loss is zero by definition.
+    """
+    if distance_m <= 0:
+        raise SignalDomainError(
+            f"distance must be positive, got {distance_m}"
+        )
+    spreading = 20.0 * np.log10(distance_m)
+    absorption = absorption_coefficient_db_per_m(frequency_hz, conditions) * (
+        distance_m - 1.0
+    )
+    # Absorption is referenced to the 1 m point, so a listener closer
+    # than 1 m sees (slightly) less absorption, never negative total.
+    return float(spreading + max(absorption, -spreading))
+
+
+@dataclass
+class PropagationModel:
+    """Applies spreading, absorption and delay to waveforms.
+
+    Parameters
+    ----------
+    conditions:
+        Atmospheric conditions for the absorption model.
+    include_delay:
+        Whether to apply time-of-flight delay. Disable for analyses
+        that align signals in time.
+    speed_of_sound:
+        Propagation speed, m/s.
+    """
+
+    conditions: AtmosphericConditions = field(
+        default_factory=AtmosphericConditions
+    )
+    include_delay: bool = True
+    speed_of_sound: float = SPEED_OF_SOUND
+
+    def absorption_gain(
+        self, frequencies_hz: np.ndarray, distance_m: float
+    ) -> np.ndarray:
+        """Linear amplitude gains for absorption over the path.
+
+        Vectorised over FFT bin frequencies; the DC bin gets unity gain
+        (absorption is undefined at 0 Hz and irrelevant there).
+        """
+        gains = np.ones_like(frequencies_hz, dtype=np.float64)
+        nonzero = frequencies_hz > 0
+        alphas = np.array(
+            [
+                absorption_coefficient_db_per_m(f, self.conditions)
+                for f in frequencies_hz[nonzero]
+            ]
+        )
+        loss_db = alphas * max(distance_m - 1.0, 0.0)
+        gains[nonzero] = 10.0 ** (-loss_db / 20.0)
+        return gains
+
+    def propagate(self, pressure_at_1m: Signal, distance_m: float) -> Signal:
+        """Propagate a pressure waveform from 1 m to ``distance_m``.
+
+        The input must be in pascals (use the speaker model to get
+        there); the output is the pressure waveform at the receiver.
+        """
+        if pressure_at_1m.unit != Unit.PASCAL:
+            raise SignalDomainError(
+                "propagate expects a pressure waveform in pascals, got "
+                f"unit {pressure_at_1m.unit!r}"
+            )
+        if distance_m <= 0:
+            raise SignalDomainError(
+                f"distance must be positive, got {distance_m}"
+            )
+        spreading_gain = 1.0 / distance_m
+        spectrum = np.fft.rfft(pressure_at_1m.samples)
+        freqs = np.fft.rfftfreq(
+            pressure_at_1m.n_samples, d=1.0 / pressure_at_1m.sample_rate
+        )
+        # Coarse-grained absorption: evaluate ISO 9613-1 on a log grid
+        # and interpolate, since per-bin evaluation of the scalar model
+        # would dominate runtime for megasample signals.
+        if len(freqs) > 64:
+            grid = np.geomspace(
+                max(freqs[1], 1.0), max(freqs[-1], 2.0), num=64
+            )
+            grid_gain = self.absorption_gain(grid, distance_m)
+            gains = np.interp(freqs, grid, grid_gain, left=1.0)
+        else:
+            gains = self.absorption_gain(freqs, distance_m)
+        attenuated = np.fft.irfft(
+            spectrum * gains, n=pressure_at_1m.n_samples
+        )
+        out = pressure_at_1m.replace(samples=attenuated * spreading_gain)
+        if self.include_delay:
+            out = out.delayed(distance_m / self.speed_of_sound)
+        return out
+
+    def time_of_flight(self, distance_m: float) -> float:
+        """Propagation delay in seconds over ``distance_m``."""
+        if distance_m < 0:
+            raise SignalDomainError(
+                f"distance must be non-negative, got {distance_m}"
+            )
+        return distance_m / self.speed_of_sound

@@ -1,0 +1,104 @@
+"""Sound pressure level conversions and source-level helpers.
+
+All acoustic waveforms in this library are in pascals, so SPL values
+are exact functions of the sample data rather than bookkeeping carried
+alongside it.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.dsp.measures import EPSILON_POWER
+from repro.errors import SignalDomainError
+
+#: Reference RMS pressure for 0 dB SPL, in pascals.
+REFERENCE_PRESSURE = 20e-6
+
+#: Speed of sound in air at ~20 °C, m/s.
+SPEED_OF_SOUND = 343.0
+
+#: Density of air at ~20 °C, kg/m^3.
+AIR_DENSITY = 1.204
+
+#: Reference acoustic power for dB re 1 pW, watts.
+REFERENCE_POWER = 1e-12
+
+
+def pressure_to_spl(rms_pressure_pa: float) -> float:
+    """Convert an RMS pressure in pascals to dB SPL."""
+    if rms_pressure_pa < 0:
+        raise SignalDomainError(
+            f"RMS pressure must be non-negative, got {rms_pressure_pa}"
+        )
+    ratio_sq = max(
+        (rms_pressure_pa / REFERENCE_PRESSURE) ** 2, EPSILON_POWER
+    )
+    return 10.0 * math.log10(ratio_sq)
+
+
+def spl_to_pressure(spl_db: float) -> float:
+    """Convert dB SPL to an RMS pressure in pascals."""
+    return REFERENCE_PRESSURE * 10.0 ** (spl_db / 20.0)
+
+
+def spl_at_distance(
+    spl_at_1m: float, distance_m: float, absorption_db_per_m: float = 0.0
+) -> float:
+    """SPL at ``distance_m`` given the on-axis SPL at one metre.
+
+    Combines inverse-square spreading (``-20 log10 d``) with linear
+    atmospheric absorption. Distances below one metre are allowed (the
+    near field is not modelled; SPL simply continues the inverse-square
+    law) but must be positive.
+    """
+    if distance_m <= 0:
+        raise SignalDomainError(
+            f"distance must be positive, got {distance_m}"
+        )
+    if absorption_db_per_m < 0:
+        raise SignalDomainError(
+            f"absorption must be non-negative, got {absorption_db_per_m}"
+        )
+    spreading = 20.0 * math.log10(distance_m)
+    absorption = absorption_db_per_m * distance_m
+    return spl_at_1m - spreading - absorption
+
+
+def source_power_to_spl_at_1m(
+    acoustic_power_w: float, directivity_index_db: float = 0.0
+) -> float:
+    """On-axis SPL at 1 m of a point source radiating the given power.
+
+    For a source of acoustic power ``W`` radiating into full space, the
+    intensity at distance r is ``W / (4*pi*r^2)``; the directivity
+    index adds on-axis gain for directional sources such as the horn
+    tweeters and piezo elements used by the attack. The conversion uses
+    ``I = p^2 / (rho * c)``.
+    """
+    if acoustic_power_w <= 0:
+        raise SignalDomainError(
+            f"acoustic power must be positive, got {acoustic_power_w}"
+        )
+    intensity = acoustic_power_w / (4.0 * math.pi)
+    pressure_sq = intensity * AIR_DENSITY * SPEED_OF_SOUND
+    spl = 10.0 * math.log10(pressure_sq / REFERENCE_PRESSURE**2)
+    return spl + directivity_index_db
+
+
+def electrical_to_acoustic_power(
+    electrical_power_w: float, efficiency: float
+) -> float:
+    """Radiated acoustic power of a speaker driven with electrical power.
+
+    Typical piezo tweeter efficiencies are on the order of 1-5 %.
+    """
+    if electrical_power_w < 0:
+        raise SignalDomainError(
+            f"electrical power must be non-negative, got {electrical_power_w}"
+        )
+    if not 0 < efficiency <= 1:
+        raise SignalDomainError(
+            f"efficiency must be in (0, 1], got {efficiency}"
+        )
+    return electrical_power_w * efficiency

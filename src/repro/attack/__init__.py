@@ -1,0 +1,56 @@
+"""The inaudible voice command attack (core contribution, attack side).
+
+``pipeline``
+    Single-speaker attack synthesis: low-pass -> upsample -> amplitude
+    modulation onto an ultrasonic carrier. This is the short-range
+    baseline (DolphinAttack family) the long-range design improves on.
+``leakage``
+    Attacker-side audibility analysis: how loud is the speaker's own
+    nonlinear leakage, and what is the maximum *inaudible* drive level.
+``splitter``
+    The long-range idea: slice the modulated spectrum into narrow
+    chunks, one per speaker, with the carrier on its own speaker. Each
+    chunk's self-intermodulation collapses into [0, chunk bandwidth] —
+    below the audible floor for narrow chunks — while the full command
+    reassembles only at the victim's microphone.
+``array``
+    Physical speaker-array layouts.
+``optimizer``
+    Per-speaker drive allocation under the audibility constraint.
+``attacker``
+    High-level orchestration: command name in, placed ultrasonic
+    sources out.
+``baselines``
+    Audible playback and single-speaker attackers used as comparisons.
+"""
+
+from repro.attack.pipeline import AttackPipeline, AttackPipelineConfig
+from repro.attack.leakage import (
+    audible_leakage,
+    leakage_report,
+    max_inaudible_drive,
+)
+from repro.attack.splitter import SpectralSplitter, SplitPlan, SpectralChunk
+from repro.attack.array import SpeakerArray, grid_array, linear_array
+from repro.attack.optimizer import AllocationResult, allocate_drive_levels
+from repro.attack.attacker import LongRangeAttacker, SingleSpeakerAttacker
+from repro.attack.baselines import AudiblePlaybackAttacker
+
+__all__ = [
+    "AttackPipeline",
+    "AttackPipelineConfig",
+    "leakage_report",
+    "audible_leakage",
+    "max_inaudible_drive",
+    "SpectralSplitter",
+    "SplitPlan",
+    "SpectralChunk",
+    "SpeakerArray",
+    "linear_array",
+    "grid_array",
+    "allocate_drive_levels",
+    "AllocationResult",
+    "LongRangeAttacker",
+    "SingleSpeakerAttacker",
+    "AudiblePlaybackAttacker",
+]

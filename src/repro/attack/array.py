@@ -1,0 +1,157 @@
+"""Physical speaker-array layouts.
+
+The long-range rig is a panel of small ultrasonic elements. For the
+wavelengths involved (~8.6 mm at 40 kHz) true phased-array beamforming
+would demand sub-millimetre placement accuracy; the reproduced attack
+does not rely on it, only on the *sum* of the per-element pressures at
+the microphone. Layouts here therefore just place elements on a small
+grid around the array centre — close enough together that path-length
+differences across the array are small compared to the chunk
+bandwidths' coherence time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.acoustics.geometry import Position
+from repro.hardware.speaker import UltrasonicSpeaker
+from repro.errors import AttackConfigError
+
+
+@dataclass(frozen=True)
+class ArrayElement:
+    """One speaker and its mounting position."""
+
+    speaker: UltrasonicSpeaker
+    position: Position
+
+
+@dataclass(frozen=True)
+class SpeakerArray:
+    """A rigid collection of ultrasonic speakers.
+
+    Attributes
+    ----------
+    elements:
+        The mounted speakers. Element 0 is, by convention, the carrier
+        speaker when a split plan separates the carrier.
+    """
+
+    elements: tuple[ArrayElement, ...]
+
+    def __post_init__(self) -> None:
+        if not self.elements:
+            raise AttackConfigError("a speaker array needs >= 1 element")
+
+    @property
+    def n_elements(self) -> int:
+        """Number of mounted speakers."""
+        return len(self.elements)
+
+    def total_rated_power_w(self) -> float:
+        """Sum of the elements' rated electrical powers."""
+        return sum(
+            e.speaker.config.max_electrical_power_w for e in self.elements
+        )
+
+    def centroid(self) -> Position:
+        """Geometric centre of the mounted elements."""
+        n = self.n_elements
+        return Position(
+            sum(e.position.x for e in self.elements) / n,
+            sum(e.position.y for e in self.elements) / n,
+            sum(e.position.z for e in self.elements) / n,
+        )
+
+
+def grid_array(
+    n_elements: int,
+    center: Position,
+    speaker_factory,
+    spacing_m: float = 0.02,
+) -> SpeakerArray:
+    """Build a near-square panel array in the y-z plane.
+
+    This is the physically sensible layout for large element counts: a
+    61-element panel of small piezo discs at 2 cm pitch is ~16 cm
+    across, so path-length differences to a victim metres away stay a
+    fraction of the carrier wavelength and the carrier elements add
+    nearly coherently. (A *linear* array of the same count would span
+    metres and comb-filter the reconstruction at close range.)
+    """
+    if n_elements < 1:
+        raise AttackConfigError(
+            f"n_elements must be >= 1, got {n_elements}"
+        )
+    if spacing_m <= 0:
+        raise AttackConfigError(
+            f"spacing_m must be positive, got {spacing_m}"
+        )
+    n_columns = int(np.ceil(np.sqrt(n_elements)))
+    n_rows = int(np.ceil(n_elements / n_columns))
+    elements = []
+    for index in range(n_elements):
+        row, column = divmod(index, n_columns)
+        dy = (column - (n_columns - 1) / 2.0) * spacing_m
+        dz = (row - (n_rows - 1) / 2.0) * spacing_m
+        elements.append(
+            ArrayElement(
+                speaker=speaker_factory(),
+                position=center.translated(0.0, dy, dz),
+            )
+        )
+    return SpeakerArray(elements=tuple(elements))
+
+
+def linear_array(
+    n_elements: int,
+    center: Position,
+    speaker_factory,
+    spacing_m: float = 0.04,
+    axis: str = "y",
+) -> SpeakerArray:
+    """Build a uniformly spaced linear array.
+
+    Parameters
+    ----------
+    n_elements:
+        Number of speakers to mount.
+    center:
+        Array centre position.
+    speaker_factory:
+        Zero-argument callable returning a fresh
+        :class:`UltrasonicSpeaker` per element (e.g.
+        ``repro.hardware.ultrasonic_piezo_element``).
+    spacing_m:
+        Inter-element spacing; 4 cm matches small piezo modules mounted
+        edge to edge.
+    axis:
+        Layout axis, ``"x"``, ``"y"`` or ``"z"``.
+    """
+    if n_elements < 1:
+        raise AttackConfigError(
+            f"n_elements must be >= 1, got {n_elements}"
+        )
+    if spacing_m <= 0:
+        raise AttackConfigError(
+            f"spacing_m must be positive, got {spacing_m}"
+        )
+    if axis not in ("x", "y", "z"):
+        raise AttackConfigError(f"axis must be x, y or z, got {axis!r}")
+    elements = []
+    for i in range(n_elements):
+        offset = (i - (n_elements - 1) / 2.0) * spacing_m
+        deltas = {"x": 0.0, "y": 0.0, "z": 0.0}
+        deltas[axis] = offset
+        elements.append(
+            ArrayElement(
+                speaker=speaker_factory(),
+                position=center.translated(
+                    deltas["x"], deltas["y"], deltas["z"]
+                ),
+            )
+        )
+    return SpeakerArray(elements=tuple(elements))

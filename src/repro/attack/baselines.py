@@ -1,0 +1,73 @@
+"""Baseline (non-attack) sound sources.
+
+The defense's datasets need *legitimate* recordings to contrast with
+attacked ones: a human (or an ordinary loudspeaker) saying the same
+commands audibly. :class:`AudiblePlaybackAttacker` models that — it is
+"attacker" only in the API sense of producing placed sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.acoustics.channel import PlacedSource
+from repro.acoustics.geometry import Position
+from repro.acoustics.spl import spl_to_pressure
+from repro.dsp.resample import upsample_to
+from repro.dsp.signals import Signal, Unit
+from repro.errors import AttackConfigError
+
+
+@dataclass(frozen=True)
+class AudiblePlaybackEmission:
+    """A legitimate, audible playback of a command."""
+
+    sources: tuple[PlacedSource, ...]
+    speech_spl_at_1m: float
+
+
+class AudiblePlaybackAttacker:
+    """Plays the voice command audibly, like a person speaking.
+
+    Parameters
+    ----------
+    position:
+        Talker position.
+    speech_spl_at_1m:
+        Speech level referenced to 1 m; conversational speech is
+        ~60 dB SPL, raised voice ~66 dB.
+    acoustic_rate:
+        Rate to upsample the voice waveform to so it can share a
+        channel with ultrasonic sources.
+    """
+
+    def __init__(
+        self,
+        position: Position,
+        speech_spl_at_1m: float = 60.0,
+        acoustic_rate: float = 192000.0,
+    ) -> None:
+        if not 30.0 <= speech_spl_at_1m <= 100.0:
+            raise AttackConfigError(
+                f"speech level {speech_spl_at_1m} dB SPL is outside the "
+                "plausible talker range [30, 100]"
+            )
+        self.position = position
+        self.speech_spl_at_1m = speech_spl_at_1m
+        self.acoustic_rate = acoustic_rate
+
+    def emit(self, voice: Signal) -> AudiblePlaybackEmission:
+        """Radiate the command as ordinary audible speech."""
+        if voice.unit != Unit.DIGITAL:
+            raise AttackConfigError(
+                f"expected a digital voice waveform, got {voice.unit!r}"
+            )
+        upsampled = upsample_to(voice, self.acoustic_rate)
+        target_rms = spl_to_pressure(self.speech_spl_at_1m)
+        pressure = upsampled.scaled_to_rms(target_rms).with_unit(
+            Unit.PASCAL
+        )
+        return AudiblePlaybackEmission(
+            sources=(PlacedSource(pressure, self.position),),
+            speech_spl_at_1m=self.speech_spl_at_1m,
+        )

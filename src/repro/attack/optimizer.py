@@ -1,0 +1,147 @@
+"""Per-speaker drive allocation under the audibility constraint.
+
+Given a split plan and an array, decide each speaker's drive level.
+Two strategies are provided (benchmark A2 compares them):
+
+``"uniform"``
+    One common reconstruction gain for every sideband chunk — the
+    delivered spectrum is an exact scaled copy of the original
+    modulated waveform, and the gain is set by the most constrained
+    speaker. Maximal fidelity, conservative power.
+
+``"waterfill"``
+    Every speaker pushes toward its own audibility-constrained maximum,
+    but no chunk may exceed ``boost_limit`` (default 4x, +12 dB) times
+    the uniform gain. Delivers more total ultrasonic power (longer
+    range) at the cost of bounded spectral tilt in the reconstructed
+    command — a fidelity/power trade-off the recogniser's mel/CMN
+    front-end tolerates well, which is exactly why the paper's array
+    wins. The bound matters: *unlimited* per-chunk normalisation would
+    raise even noise-floor slices to full scale and mangle the command
+    (measurably worse recognition for narrow chunks).
+
+Both respect two constraints per speaker: drive <= 1 (hardware) and
+leakage margin <= -margin_db (inaudibility at the bystander distance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attack.array import SpeakerArray
+from repro.attack.leakage import max_inaudible_drive
+from repro.attack.splitter import SplitPlan
+from repro.errors import AttackConfigError
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """Drive levels chosen by the allocator.
+
+    Attributes
+    ----------
+    chunk_levels:
+        Drive level per sideband chunk, aligned with
+        ``plan.chunks``.
+    carrier_level:
+        Drive level for the carrier speaker (``None`` when the plan
+        has no separate carrier).
+    strategy:
+        The strategy that produced this allocation.
+    """
+
+    chunk_levels: tuple[float, ...]
+    carrier_level: float | None
+    strategy: str
+
+    def min_level(self) -> float:
+        """Smallest allocated sideband level (diagnostic)."""
+        if not self.chunk_levels:
+            raise AttackConfigError("no chunk levels allocated")
+        return min(self.chunk_levels)
+
+
+def allocate_drive_levels(
+    plan: SplitPlan,
+    array: SpeakerArray,
+    strategy: str = "uniform",
+    bystander_distance_m: float = 0.5,
+    margin_db: float = 3.0,
+    boost_limit: float = 4.0,
+) -> AllocationResult:
+    """Choose drive levels for every speaker in the array.
+
+    Parameters
+    ----------
+    plan:
+        Split plan whose chunks map one-to-one onto the array's
+        sideband speakers (element 0 is the carrier speaker when the
+        plan separates the carrier).
+    array:
+        The physical array; must have enough elements.
+    strategy:
+        ``"uniform"`` or ``"waterfill"`` (see module docstring).
+    bystander_distance_m:
+        Assumed closest human to the rig.
+    margin_db:
+        Required inaudibility safety margin per speaker, dB below the
+        hearing threshold.
+    boost_limit:
+        Waterfill only: maximum per-chunk gain relative to the uniform
+        (faithful) gain; must be >= 1.
+    """
+    if strategy not in ("uniform", "waterfill"):
+        raise AttackConfigError(
+            f"unknown allocation strategy {strategy!r}; "
+            "choose 'uniform' or 'waterfill'"
+        )
+    if boost_limit < 1.0:
+        raise AttackConfigError(
+            f"boost_limit must be >= 1, got {boost_limit}"
+        )
+    n_needed = plan.n_speakers
+    if array.n_elements < n_needed:
+        raise AttackConfigError(
+            f"plan needs {n_needed} speakers but the array has "
+            f"{array.n_elements}"
+        )
+    offset = 1 if plan.carrier is not None else 0
+    carrier_level = None
+    if plan.carrier is not None:
+        carrier_level = max_inaudible_drive(
+            array.elements[0].speaker,
+            plan.carrier,
+            bystander_distance_m,
+            margin_db,
+        )
+    per_chunk_max = []
+    for index, chunk in enumerate(plan.chunks):
+        speaker = array.elements[offset + index].speaker
+        per_chunk_max.append(
+            max_inaudible_drive(
+                speaker, chunk.drive, bystander_distance_m, margin_db
+            )
+        )
+    # The effective gain a chunk applies to its share of the original
+    # waveform is level * headroom (the drive was peak-normalised).
+    effective_max = [
+        level * chunk.gain_headroom
+        for level, chunk in zip(per_chunk_max, plan.chunks)
+    ]
+    common_gain = min(effective_max)
+    if strategy == "waterfill":
+        ceiling = boost_limit * common_gain
+        levels = tuple(
+            min(effective, ceiling) / chunk.gain_headroom
+            for effective, chunk in zip(effective_max, plan.chunks)
+        )
+    else:
+        levels = tuple(
+            min(common_gain / chunk.gain_headroom, 1.0)
+            for chunk in plan.chunks
+        )
+    return AllocationResult(
+        chunk_levels=levels,
+        carrier_level=carrier_level,
+        strategy=strategy,
+    )

@@ -1,0 +1,149 @@
+"""Single-speaker attack signal synthesis.
+
+The four classic steps of the inaudible command pipeline:
+
+1. **Low-pass filtering** — keep the voice command's 0-``voice_cutoff``
+   band (speech intelligibility survives an 8 kHz, even 3 kHz, cut and
+   a smaller bandwidth permits a lower, better-radiated carrier).
+2. **Upsampling** — move to the acoustic simulation rate so ultrasonic
+   frequencies are representable.
+3. **Ultrasound modulation** — amplitude-modulate onto the carrier.
+4. **Carrier addition** — transmit the carrier along with the
+   sidebands so the victim microphone's quadratic term has the strong
+   reference tone it needs to demodulate against (full-carrier AM).
+
+The output is a normalised digital drive waveform for one ultrasonic
+speaker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dsp.filters import low_pass
+from repro.dsp.modulation import am_modulate
+from repro.dsp.resample import upsample_to
+from repro.dsp.signals import Signal, Unit
+from repro.errors import AttackConfigError
+
+#: Frequencies above this are inaudible to (adult) humans.
+MIN_INAUDIBLE_HZ = 20000.0
+
+
+@dataclass(frozen=True)
+class AttackPipelineConfig:
+    """Parameters of the single-speaker attack pipeline.
+
+    Parameters
+    ----------
+    carrier_hz:
+        Ultrasonic carrier. Must exceed 20 kHz + the voice cutoff so
+        the *lower* sideband also stays inaudible.
+    voice_cutoff_hz:
+        Voice-band low-pass cut-off before modulation.
+    acoustic_rate:
+        Simulation rate for the generated drive waveform; must fit the
+        upper sideband with margin.
+    modulation_depth:
+        AM depth in (0, 1].
+    sideband_to_carrier_ratio:
+        Peak amplitude of the message relative to the carrier tone;
+        values below 1 put more of the power budget into the carrier,
+        which the quadratic demodulator multiplies every sideband by.
+    fade_s:
+        Raised-cosine fade applied to the final waveform so switching
+        transients do not produce audible clicks.
+    """
+
+    carrier_hz: float = 30000.0
+    voice_cutoff_hz: float = 8000.0
+    acoustic_rate: float = 192000.0
+    modulation_depth: float = 1.0
+    sideband_to_carrier_ratio: float = 1.0
+    fade_s: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.voice_cutoff_hz <= 0:
+            raise AttackConfigError(
+                f"voice_cutoff_hz must be positive, got {self.voice_cutoff_hz}"
+            )
+        lower_sideband = self.carrier_hz - self.voice_cutoff_hz
+        if lower_sideband < MIN_INAUDIBLE_HZ:
+            raise AttackConfigError(
+                f"carrier {self.carrier_hz} Hz with voice cutoff "
+                f"{self.voice_cutoff_hz} Hz puts the lower sideband at "
+                f"{lower_sideband} Hz — audible. The carrier must be at "
+                f"least {MIN_INAUDIBLE_HZ + self.voice_cutoff_hz} Hz."
+            )
+        upper_sideband = self.carrier_hz + self.voice_cutoff_hz
+        if upper_sideband >= self.acoustic_rate / 2:
+            raise AttackConfigError(
+                f"upper sideband {upper_sideband} Hz does not fit under "
+                f"Nyquist at {self.acoustic_rate} Hz; raise acoustic_rate"
+            )
+        if not 0 < self.modulation_depth <= 1:
+            raise AttackConfigError(
+                f"modulation_depth must be in (0, 1], got "
+                f"{self.modulation_depth}"
+            )
+        if self.sideband_to_carrier_ratio <= 0:
+            raise AttackConfigError(
+                "sideband_to_carrier_ratio must be positive, got "
+                f"{self.sideband_to_carrier_ratio}"
+            )
+        if self.fade_s < 0:
+            raise AttackConfigError(
+                f"fade_s must be non-negative, got {self.fade_s}"
+            )
+
+
+class AttackPipeline:
+    """Turns a recorded voice command into an ultrasonic drive waveform.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.speech import synthesize_command
+    >>> rng = np.random.default_rng(0)
+    >>> voice = synthesize_command("ok_google", rng)
+    >>> drive = AttackPipeline().generate(voice)
+    >>> drive.sample_rate
+    192000.0
+    """
+
+    def __init__(self, config: AttackPipelineConfig | None = None) -> None:
+        self.config = config or AttackPipelineConfig()
+
+    def prepare_baseband(self, voice: Signal) -> Signal:
+        """Steps 1-2: band-limit the command and move it to the
+        acoustic rate."""
+        if voice.unit != Unit.DIGITAL:
+            raise AttackConfigError(
+                "the pipeline expects a digital voice recording, got "
+                f"unit {voice.unit!r}"
+            )
+        cutoff = min(self.config.voice_cutoff_hz, voice.nyquist * 0.99)
+        filtered = low_pass(voice, cutoff, order=8)
+        return upsample_to(filtered, self.config.acoustic_rate)
+
+    def generate(self, voice: Signal) -> Signal:
+        """Full pipeline: voice command in, normalised drive out.
+
+        The result peaks at 1.0 (full drive); scale with the speaker's
+        drive level, not by editing the waveform.
+        """
+        baseband = self.prepare_baseband(voice)
+        modulated = am_modulate(
+            baseband,
+            self.config.carrier_hz,
+            modulation_depth=self.config.modulation_depth
+            * min(self.config.sideband_to_carrier_ratio, 1.0),
+            carrier_amplitude=1.0,
+            bandwidth_hz=self.config.voice_cutoff_hz,
+        )
+        normalized = modulated.scaled_to_peak(1.0)
+        if self.config.fade_s > 0 and (
+            2 * self.config.fade_s < normalized.duration
+        ):
+            normalized = normalized.faded(self.config.fade_s)
+        return normalized

@@ -1,0 +1,220 @@
+"""Spectral splitting — the long-range attack's core mechanism.
+
+A single speaker playing the complete AM waveform leaks audibly because
+its quadratic term contains ``2 a2 m(t) c(t)``: the full command,
+demodulated in the transmitter. The splitter removes that term from
+every individual device:
+
+* The **carrier** goes to a dedicated speaker. Squaring a pure tone
+  yields only DC and ``2 f_c`` — both inaudible — so the carrier
+  speaker can run at full drive.
+* The **modulated sidebands** are sliced into ``n_chunks`` contiguous
+  spectral chunks of the *ultrasonic* spectrum, one per speaker. All
+  components within one chunk lie within its bandwidth ``B`` of each
+  other, so a chunk's self-intermodulation lands only in ``[0, B]``
+  (plus inaudible ``~2 f_c`` terms). For narrow chunks — the paper's
+  array pushes ``B`` to tens of hertz — that residue sits at
+  frequencies where the threshold of hearing is 40-80 dB SPL, i.e.
+  below audibility at any drive the hardware can produce.
+
+The full command spectrum only re-forms where all chunks and the
+carrier superpose *acoustically*: at the victim's microphone diaphragm,
+whose nonlinearity multiplies chunks against the carrier and writes the
+voice band back to baseband.
+
+Chunking is performed by exact FFT-domain partition, so the chunks sum
+to the original waveform bit-for-bit (a property the tests pin down):
+splitting changes *where* the energy is radiated from, never what total
+waveform arrives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.modulation import dsb_sc_modulate
+from repro.dsp.signals import Signal, Unit, tone
+from repro.attack.pipeline import AttackPipeline, AttackPipelineConfig
+from repro.errors import AttackConfigError
+
+
+@dataclass(frozen=True)
+class SpectralChunk:
+    """One speaker's share of the attack spectrum.
+
+    Attributes
+    ----------
+    drive:
+        Normalised digital drive waveform (peak <= 1).
+    band_hz:
+        ``(low, high)`` spectral support of the chunk.
+    gain_headroom:
+        How much the chunk was scaled down during normalisation; the
+        reconstruction gain the allocator may re-apply.
+    """
+
+    drive: Signal
+    band_hz: tuple[float, float]
+    gain_headroom: float
+
+    @property
+    def bandwidth_hz(self) -> float:
+        """Width of the chunk's spectral support."""
+        return self.band_hz[1] - self.band_hz[0]
+
+
+@dataclass(frozen=True)
+class SplitPlan:
+    """The complete output of the splitter.
+
+    Attributes
+    ----------
+    chunks:
+        Sideband chunks, one per sideband speaker, ascending in
+        frequency.
+    carrier:
+        Carrier drive waveform for the dedicated carrier speaker
+        (``None`` when ``separate_carrier=False``, in which case every
+        chunk already includes a share of the carrier — the ablation
+        configuration).
+    carrier_hz:
+        The carrier frequency.
+    """
+
+    chunks: tuple[SpectralChunk, ...]
+    carrier: Signal | None
+    carrier_hz: float
+
+    @property
+    def n_speakers(self) -> int:
+        """Total speakers required, including the carrier speaker."""
+        return len(self.chunks) + (1 if self.carrier is not None else 0)
+
+    def chunk_bandwidth_hz(self) -> float:
+        """Bandwidth of each sideband chunk (uniform by construction)."""
+        if not self.chunks:
+            raise AttackConfigError("empty split plan has no chunks")
+        return self.chunks[0].bandwidth_hz
+
+
+class SpectralSplitter:
+    """Builds :class:`SplitPlan` objects from voice commands.
+
+    Parameters
+    ----------
+    n_chunks:
+        Number of sideband chunks (= sideband speakers).
+    pipeline_config:
+        Single-speaker pipeline configuration reused for band-limiting,
+        upsampling and carrier placement. The long-range configuration
+        typically narrows ``voice_cutoff_hz`` to ~3 kHz: command
+        intelligibility survives, and the chunks get proportionally
+        narrower for the same speaker count.
+    separate_carrier:
+        ``True`` (the paper's design) radiates the carrier from its own
+        speaker. ``False`` mixes a carrier share into every chunk —
+        the configuration ablation A1 uses to show why carrier
+        separation matters.
+    """
+
+    def __init__(
+        self,
+        n_chunks: int,
+        pipeline_config: AttackPipelineConfig | None = None,
+        separate_carrier: bool = True,
+    ) -> None:
+        if n_chunks < 1:
+            raise AttackConfigError(
+                f"n_chunks must be >= 1, got {n_chunks}"
+            )
+        self.n_chunks = n_chunks
+        self.config = pipeline_config or AttackPipelineConfig(
+            voice_cutoff_hz=3000.0, carrier_hz=40000.0
+        )
+        self.separate_carrier = separate_carrier
+        self._pipeline = AttackPipeline(self.config)
+
+    def split(self, voice: Signal) -> SplitPlan:
+        """Produce the per-speaker drive waveforms for a command."""
+        baseband = self._pipeline.prepare_baseband(voice)
+        modulated = dsb_sc_modulate(
+            baseband,
+            self.config.carrier_hz,
+            amplitude=1.0,
+            bandwidth_hz=self.config.voice_cutoff_hz,
+        )
+        if self.config.fade_s > 0 and (
+            2 * self.config.fade_s < modulated.duration
+        ):
+            modulated = modulated.faded(self.config.fade_s)
+        low = self.config.carrier_hz - self.config.voice_cutoff_hz
+        high = self.config.carrier_hz + self.config.voice_cutoff_hz
+        edges = np.linspace(low, high, self.n_chunks + 1)
+        spectrum = np.fft.rfft(modulated.samples)
+        freqs = np.fft.rfftfreq(
+            modulated.n_samples, d=1.0 / modulated.sample_rate
+        )
+        carrier_share = (
+            0.0 if self.separate_carrier else 1.0 / self.n_chunks
+        )
+        chunks = []
+        for i in range(self.n_chunks):
+            band = (float(edges[i]), float(edges[i + 1]))
+            chunk_spectrum = np.zeros_like(spectrum)
+            if i == self.n_chunks - 1:
+                mask = (freqs >= band[0]) & (freqs <= band[1])
+            else:
+                mask = (freqs >= band[0]) & (freqs < band[1])
+            chunk_spectrum[mask] = spectrum[mask]
+            samples = np.fft.irfft(chunk_spectrum, n=modulated.n_samples)
+            chunk_signal = Signal(
+                samples, modulated.sample_rate, Unit.DIGITAL
+            )
+            if carrier_share > 0:
+                chunk_signal = chunk_signal + tone(
+                    self.config.carrier_hz,
+                    chunk_signal.duration,
+                    chunk_signal.sample_rate,
+                    amplitude=carrier_share,
+                ).padded_to(chunk_signal.n_samples)
+            peak = chunk_signal.peak()
+            headroom = 1.0 / peak if peak > 0 else 1.0
+            chunks.append(
+                SpectralChunk(
+                    drive=chunk_signal.scaled_to_peak(1.0)
+                    if peak > 0
+                    else chunk_signal,
+                    band_hz=band,
+                    gain_headroom=headroom,
+                )
+            )
+        carrier_signal = None
+        if self.separate_carrier:
+            carrier_signal = tone(
+                self.config.carrier_hz,
+                modulated.duration,
+                modulated.sample_rate,
+                amplitude=1.0,
+            ).padded_to(modulated.n_samples)
+        return SplitPlan(
+            chunks=tuple(chunks),
+            carrier=carrier_signal,
+            carrier_hz=self.config.carrier_hz,
+        )
+
+    def reconstruct(self, plan: SplitPlan) -> Signal:
+        """Sum the (de-normalised) chunks back into one waveform.
+
+        Test/analysis helper: with unit allocation the sum equals the
+        original modulated waveform (plus carrier when separated),
+        demonstrating that splitting is a pure spatial re-arrangement.
+        """
+        total = None
+        for chunk in plan.chunks:
+            restored = chunk.drive * (1.0 / chunk.gain_headroom)
+            total = restored if total is None else total + restored
+        if plan.carrier is not None:
+            total = total + plan.carrier
+        return total

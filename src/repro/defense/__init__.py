@@ -1,0 +1,70 @@
+"""Defense against inaudible voice commands (core contribution, part B).
+
+Nonlinear demodulation cannot deliver a *clean* voice command: the
+microphone's quadratic term that writes ``2 a2 m(t) c`` into the voice
+band also writes ``a2 m(t)^2`` into the very low frequencies. Genuine
+speech — produced by a vocal tract and radiated linearly — has
+essentially no coherent sub-50 Hz content, and what little low
+frequency noise a room contributes is uncorrelated with the speech.
+The defense turns this into a detector:
+
+``traces``
+    Extraction of the low-frequency demodulation traces and their
+    correlation with the voice-band envelope.
+``features``
+    The fixed-length feature vector summarising a recording.
+``classifier``
+    From-scratch logistic regression and linear SVM (no sklearn).
+``dataset``
+    Labelled dataset synthesis: legitimate playbacks vs attacked
+    recordings across commands, distances and attackers.
+``detector``
+    The end-to-end :class:`InaudibleVoiceDetector` API.
+``metrics``
+    ROC/AUC/confusion utilities for the evaluation.
+"""
+
+from repro.defense.traces import (
+    TraceAnalysis,
+    analyze_traces,
+    band_envelope,
+)
+from repro.defense.features import FEATURE_NAMES, feature_vector
+from repro.defense.classifier import (
+    LinearSvm,
+    LogisticRegression,
+    StandardScaler,
+)
+from repro.defense.dataset import DatasetConfig, LabeledDataset, build_dataset
+from repro.defense.detector import DetectionResult, InaudibleVoiceDetector
+from repro.defense.guard import GuardedOutcome, GuardedVoiceAssistant
+from repro.defense.metrics import (
+    ConfusionMatrix,
+    RocCurve,
+    auc,
+    confusion_matrix,
+    roc_curve,
+)
+
+__all__ = [
+    "TraceAnalysis",
+    "analyze_traces",
+    "band_envelope",
+    "feature_vector",
+    "FEATURE_NAMES",
+    "LogisticRegression",
+    "LinearSvm",
+    "StandardScaler",
+    "DatasetConfig",
+    "LabeledDataset",
+    "build_dataset",
+    "InaudibleVoiceDetector",
+    "DetectionResult",
+    "GuardedVoiceAssistant",
+    "GuardedOutcome",
+    "RocCurve",
+    "roc_curve",
+    "auc",
+    "ConfusionMatrix",
+    "confusion_matrix",
+]

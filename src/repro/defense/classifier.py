@@ -1,0 +1,232 @@
+"""From-scratch linear classifiers (no sklearn).
+
+Two models with a shared interface (`fit`, `predict`,
+`decision_scores`):
+
+:class:`LogisticRegression`
+    Batch gradient descent on the regularised cross-entropy. The
+    default detector model — its scores are calibrated probabilities,
+    convenient for ROC sweeps.
+:class:`LinearSvm`
+    Hinge-loss linear SVM via subgradient descent (Pegasos-style
+    schedule). Included because the paper family reports SVM results;
+    experiment T3 compares both.
+
+Both expect standardised features; :class:`StandardScaler` provides
+the (train-set-fitted) transform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DefenseError
+
+
+class StandardScaler:
+    """Per-feature zero-mean unit-variance standardisation."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray) -> "StandardScaler":
+        """Learn mean and scale from a training matrix."""
+        matrix = _validate_matrix(features)
+        self.mean_ = np.mean(matrix, axis=0)
+        scale = np.std(matrix, axis=0)
+        # A constant feature carries no information; mapping it to zero
+        # (rather than dividing by ~0) keeps optimisation stable.
+        scale[scale < 1e-12] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Apply the learned standardisation."""
+        if self.mean_ is None or self.scale_ is None:
+            raise DefenseError("scaler used before fit()")
+        matrix = _validate_matrix(features)
+        if matrix.shape[1] != self.mean_.shape[0]:
+            raise DefenseError(
+                f"feature count mismatch: scaler saw "
+                f"{self.mean_.shape[0]}, got {matrix.shape[1]}"
+            )
+        return (matrix - self.mean_) / self.scale_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        """Fit then transform in one step."""
+        return self.fit(features).transform(features)
+
+
+class LogisticRegression:
+    """L2-regularised logistic regression, batch gradient descent.
+
+    Parameters
+    ----------
+    learning_rate:
+        Gradient step size.
+    n_iterations:
+        Number of full-batch steps.
+    l2:
+        Ridge penalty on the weights (not the intercept).
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.5,
+        n_iterations: int = 2000,
+        l2: float = 1e-3,
+    ) -> None:
+        if learning_rate <= 0 or n_iterations < 1 or l2 < 0:
+            raise DefenseError(
+                "invalid hyper-parameters for logistic regression"
+            )
+        self.learning_rate = learning_rate
+        self.n_iterations = n_iterations
+        self.l2 = l2
+        self.weights_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> "LogisticRegression":
+        """Train on a standardised feature matrix and 0/1 labels."""
+        x, y = _validate_training(features, labels)
+        n_samples, n_features = x.shape
+        weights = np.zeros(n_features)
+        intercept = 0.0
+        for _ in range(self.n_iterations):
+            scores = x @ weights + intercept
+            probabilities = _sigmoid(scores)
+            error = probabilities - y
+            grad_w = x.T @ error / n_samples + self.l2 * weights
+            grad_b = float(np.mean(error))
+            weights -= self.learning_rate * grad_w
+            intercept -= self.learning_rate * grad_b
+        self.weights_ = weights
+        self.intercept_ = intercept
+        return self
+
+    def decision_scores(self, features: np.ndarray) -> np.ndarray:
+        """Attack probability per row, in [0, 1]."""
+        if self.weights_ is None:
+            raise DefenseError("classifier used before fit()")
+        matrix = _validate_matrix(features)
+        return _sigmoid(matrix @ self.weights_ + self.intercept_)
+
+    def predict(
+        self, features: np.ndarray, threshold: float = 0.5
+    ) -> np.ndarray:
+        """Hard 0/1 predictions at a probability threshold."""
+        if not 0 < threshold < 1:
+            raise DefenseError(
+                f"threshold must be in (0, 1), got {threshold}"
+            )
+        return (self.decision_scores(features) >= threshold).astype(int)
+
+
+class LinearSvm:
+    """Linear SVM trained by Pegasos-style subgradient descent.
+
+    Parameters
+    ----------
+    regularization:
+        The lambda of the hinge objective; smaller = harder margin.
+    n_epochs:
+        Passes over the (shuffled) training set.
+    seed:
+        Shuffle seed — training is deterministic given the seed.
+    """
+
+    def __init__(
+        self,
+        regularization: float = 1e-2,
+        n_epochs: int = 200,
+        seed: int = 0,
+    ) -> None:
+        if regularization <= 0 or n_epochs < 1:
+            raise DefenseError("invalid hyper-parameters for linear SVM")
+        self.regularization = regularization
+        self.n_epochs = n_epochs
+        self.seed = seed
+        self.weights_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LinearSvm":
+        """Train on standardised features and 0/1 labels."""
+        x, y01 = _validate_training(features, labels)
+        y = 2.0 * y01 - 1.0  # hinge loss wants +-1
+        n_samples, n_features = x.shape
+        rng = np.random.default_rng(self.seed)
+        weights = np.zeros(n_features)
+        intercept = 0.0
+        step_count = 0
+        for _ in range(self.n_epochs):
+            order = rng.permutation(n_samples)
+            for index in order:
+                step_count += 1
+                eta = 1.0 / (self.regularization * step_count)
+                margin = y[index] * (x[index] @ weights + intercept)
+                if margin < 1.0:
+                    weights = (
+                        (1 - eta * self.regularization) * weights
+                        + eta * y[index] * x[index]
+                    )
+                    intercept += eta * y[index]
+                else:
+                    weights = (1 - eta * self.regularization) * weights
+        self.weights_ = weights
+        self.intercept_ = intercept
+        return self
+
+    def decision_scores(self, features: np.ndarray) -> np.ndarray:
+        """Signed margin per row (positive = attack side)."""
+        if self.weights_ is None:
+            raise DefenseError("classifier used before fit()")
+        matrix = _validate_matrix(features)
+        return matrix @ self.weights_ + self.intercept_
+
+    def predict(
+        self, features: np.ndarray, threshold: float = 0.0
+    ) -> np.ndarray:
+        """Hard 0/1 predictions at a margin threshold."""
+        return (self.decision_scores(features) >= threshold).astype(int)
+
+
+def _sigmoid(scores: np.ndarray) -> np.ndarray:
+    clipped = np.clip(scores, -60.0, 60.0)
+    return 1.0 / (1.0 + np.exp(-clipped))
+
+
+def _validate_matrix(features: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(features, dtype=np.float64)
+    if matrix.ndim == 1:
+        matrix = matrix.reshape(1, -1)
+    if matrix.ndim != 2 or matrix.shape[0] == 0 or matrix.shape[1] == 0:
+        raise DefenseError(
+            f"expected a non-empty 2-D feature matrix, got shape "
+            f"{matrix.shape}"
+        )
+    if not np.all(np.isfinite(matrix)):
+        raise DefenseError("features must be finite")
+    return matrix
+
+
+def _validate_training(
+    features: np.ndarray, labels: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    x = _validate_matrix(features)
+    y = np.asarray(labels, dtype=np.float64).ravel()
+    if y.shape[0] != x.shape[0]:
+        raise DefenseError(
+            f"label count ({y.shape[0]}) != sample count ({x.shape[0]})"
+        )
+    unique = set(np.unique(y))
+    if not unique <= {0.0, 1.0}:
+        raise DefenseError(f"labels must be 0/1, got values {sorted(unique)}")
+    if len(unique) < 2:
+        raise DefenseError(
+            "training data contains a single class; a discriminative "
+            "model cannot be fit"
+        )
+    return x, y

@@ -1,0 +1,236 @@
+"""Labelled dataset synthesis for the defense.
+
+Builds paired recordings through the *full physical pipeline*:
+
+* label 0 (genuine): a talker/loudspeaker plays the command audibly at
+  a randomised conversational level; the victim microphone records it.
+* label 1 (attack): an inaudible attacker (single-speaker at full
+  drive, or the long-range array) delivers the same command; the same
+  microphone records the demodulated result.
+
+Each recording then yields one defense feature vector. Conditions
+(command, distance, trial noise) are crossed so the classifier cannot
+shortcut on loudness or command identity; the experiment configs hold
+out commands and distances to test generalisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.acoustics.channel import AcousticChannel
+from repro.acoustics.geometry import Position
+from repro.attack.array import grid_array
+from repro.attack.attacker import LongRangeAttacker, SingleSpeakerAttacker
+from repro.attack.baselines import AudiblePlaybackAttacker
+from repro.defense.features import FEATURE_NAMES, feature_vector
+from repro.dsp.signals import Signal
+from repro.hardware.devices import (
+    amazon_echo_microphone,
+    android_phone_microphone,
+    horn_tweeter,
+    ultrasonic_piezo_element,
+)
+from repro.speech.commands import COMMAND_CORPUS, synthesize_command
+from repro.errors import DefenseError
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Recipe for a labelled defense dataset.
+
+    Parameters
+    ----------
+    commands:
+        Corpus command names to include.
+    distances_m:
+        Source-to-microphone distances to cross with commands.
+    n_trials:
+        Recordings per (command, distance, class) cell; each trial
+        redraws ambient and microphone noise and the talker level.
+    attacker_kind:
+        ``"single_full"`` (wideband speaker at full drive — the strong,
+        conspicuous attack) or ``"long_range"`` (the array).
+    n_array_speakers:
+        Sideband speaker count for the long-range attacker.
+    device:
+        ``"phone"`` or ``"echo"`` microphone preset.
+    speech_spl_range:
+        Genuine talker level range (uniformly drawn per trial), dB SPL
+        at 1 m.
+    ambient_noise_spl:
+        Room noise floor, dB SPL.
+    seed:
+        Master seed; the dataset is a pure function of its config.
+    """
+
+    commands: tuple[str, ...] = ("ok_google", "alexa", "take_a_picture")
+    distances_m: tuple[float, ...] = (1.0, 2.0)
+    n_trials: int = 5
+    attacker_kind: str = "single_full"
+    n_array_speakers: int = 16
+    device: str = "phone"
+    speech_spl_range: tuple[float, float] = (55.0, 68.0)
+    ambient_noise_spl: float = 40.0
+    feature_subset: tuple[str, ...] | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.commands:
+            raise DefenseError("dataset needs at least one command")
+        unknown = [c for c in self.commands if c not in COMMAND_CORPUS]
+        if unknown:
+            raise DefenseError(f"unknown commands {unknown}")
+        if not self.distances_m or any(d <= 0 for d in self.distances_m):
+            raise DefenseError("distances must be a non-empty positive list")
+        if self.n_trials < 1:
+            raise DefenseError(f"n_trials must be >= 1, got {self.n_trials}")
+        if self.attacker_kind not in ("single_full", "long_range"):
+            raise DefenseError(
+                f"unknown attacker_kind {self.attacker_kind!r}"
+            )
+        if self.device not in ("phone", "echo"):
+            raise DefenseError(f"unknown device {self.device!r}")
+        low, high = self.speech_spl_range
+        if not 30 <= low <= high <= 100:
+            raise DefenseError(
+                f"implausible speech SPL range {self.speech_spl_range}"
+            )
+
+
+@dataclass
+class LabeledDataset:
+    """Feature matrix + labels + per-row condition metadata."""
+
+    features: np.ndarray
+    labels: np.ndarray
+    metadata: list[dict] = field(repr=False)
+    feature_names: tuple[str, ...] = FEATURE_NAMES
+
+    def __post_init__(self) -> None:
+        if self.features.shape[0] != self.labels.shape[0]:
+            raise DefenseError("features/labels row counts differ")
+        if len(self.metadata) != self.features.shape[0]:
+            raise DefenseError("metadata length mismatch")
+
+    @property
+    def n_samples(self) -> int:
+        """Number of labelled recordings."""
+        return int(self.features.shape[0])
+
+    def split(
+        self, train_fraction: float, rng: np.random.Generator
+    ) -> tuple["LabeledDataset", "LabeledDataset"]:
+        """Random stratified-ish split into train and test subsets."""
+        if not 0 < train_fraction < 1:
+            raise DefenseError(
+                f"train_fraction must be in (0, 1), got {train_fraction}"
+            )
+        order = rng.permutation(self.n_samples)
+        n_train = max(1, int(round(train_fraction * self.n_samples)))
+        n_train = min(n_train, self.n_samples - 1)
+        return self._subset(order[:n_train]), self._subset(order[n_train:])
+
+    def filter(self, predicate) -> "LabeledDataset":
+        """Subset by a metadata predicate (e.g. held-out commands)."""
+        indices = np.array(
+            [i for i, meta in enumerate(self.metadata) if predicate(meta)],
+            dtype=int,
+        )
+        if indices.size == 0:
+            raise DefenseError("filter produced an empty dataset")
+        return self._subset(indices)
+
+    def _subset(self, indices: np.ndarray) -> "LabeledDataset":
+        return LabeledDataset(
+            features=self.features[indices],
+            labels=self.labels[indices],
+            metadata=[self.metadata[i] for i in indices],
+            feature_names=self.feature_names,
+        )
+
+
+def _microphone(device: str):
+    if device == "phone":
+        return android_phone_microphone()
+    return amazon_echo_microphone()
+
+
+def _build_attacker(config: DatasetConfig, position: Position):
+    if config.attacker_kind == "single_full":
+        return SingleSpeakerAttacker(horn_tweeter(), position)
+    array = grid_array(
+        config.n_array_speakers, position, ultrasonic_piezo_element
+    )
+    return LongRangeAttacker(array, allocation_strategy="waterfill")
+
+
+def build_dataset(config: DatasetConfig) -> LabeledDataset:
+    """Synthesise the dataset a :class:`DatasetConfig` describes.
+
+    Attack emissions are generated once per command and reused across
+    distances and trials (the waveform the attacker radiates does not
+    depend on them); trial variation comes from ambient noise,
+    microphone self-noise and talker level.
+    """
+    rng = np.random.default_rng(config.seed)
+    microphone = _microphone(config.device)
+    channel = AcousticChannel(
+        room=None, ambient_noise_spl=config.ambient_noise_spl
+    )
+    origin = Position(0.0, 2.0, 1.0)
+    attacker = _build_attacker(config, origin)
+    rows: list[np.ndarray] = []
+    labels: list[int] = []
+    metadata: list[dict] = []
+    names = config.feature_subset or FEATURE_NAMES
+    for command in config.commands:
+        voice = synthesize_command(command, rng)
+        if config.attacker_kind == "single_full":
+            attack_sources = list(attacker.emit(voice).sources)
+        else:
+            attack_sources = list(attacker.emit(voice).sources)
+        for distance in config.distances_m:
+            mic_position = origin.translated(distance, 0.0, 0.0)
+            for _ in range(config.n_trials):
+                # Genuine playback at a randomised talker level.
+                spl = rng.uniform(*config.speech_spl_range)
+                playback = AudiblePlaybackAttacker(
+                    origin, speech_spl_at_1m=spl
+                )
+                genuine_sources = list(playback.emit(voice).sources)
+                genuine = microphone.record(
+                    channel.receive(genuine_sources, mic_position, rng),
+                    rng,
+                )
+                rows.append(feature_vector(genuine, subset=names))
+                labels.append(0)
+                metadata.append(
+                    {
+                        "command": command,
+                        "distance_m": distance,
+                        "kind": "genuine",
+                        "speech_spl": spl,
+                    }
+                )
+                attacked = microphone.record(
+                    channel.receive(attack_sources, mic_position, rng),
+                    rng,
+                )
+                rows.append(feature_vector(attacked, subset=names))
+                labels.append(1)
+                metadata.append(
+                    {
+                        "command": command,
+                        "distance_m": distance,
+                        "kind": config.attacker_kind,
+                    }
+                )
+    return LabeledDataset(
+        features=np.vstack(rows),
+        labels=np.asarray(labels, dtype=int),
+        metadata=metadata,
+        feature_names=tuple(names),
+    )

@@ -1,0 +1,65 @@
+"""The defense's feature vector.
+
+A thin, stable layer between trace analysis and the classifier: the
+order and meaning of entries is fixed by :data:`FEATURE_NAMES`, and the
+feature-ablation experiment (A3) selects subsets by name.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.defense.traces import TraceAnalysis, analyze_traces
+from repro.dsp.signals import Signal
+from repro.errors import DefenseError
+
+#: Names of the entries of the feature vector, in order.
+FEATURE_NAMES: tuple[str, ...] = (
+    "trace_power_db",
+    "trace_to_voice_db",
+    "envelope_correlation",
+    "envelope_power_correlation",
+    "voice_power_db",
+)
+
+
+def features_from_analysis(analysis: TraceAnalysis) -> np.ndarray:
+    """Assemble the vector from a completed trace analysis."""
+    return np.array(
+        [
+            analysis.trace_power_db,
+            analysis.trace_to_voice_db,
+            analysis.envelope_correlation,
+            analysis.envelope_power_correlation,
+            analysis.voice_power_db,
+        ],
+        dtype=np.float64,
+    )
+
+
+def feature_vector(
+    recording: Signal, subset: tuple[str, ...] | None = None
+) -> np.ndarray:
+    """Extract the defense features of a recording.
+
+    Parameters
+    ----------
+    recording:
+        Device-rate digital recording.
+    subset:
+        Optional feature-name subset (order preserved from
+        :data:`FEATURE_NAMES`); used by the ablation experiments.
+    """
+    full = features_from_analysis(analyze_traces(recording))
+    if subset is None:
+        return full
+    indices = []
+    for name in subset:
+        if name not in FEATURE_NAMES:
+            raise DefenseError(
+                f"unknown feature {name!r}; known: {FEATURE_NAMES}"
+            )
+        indices.append(FEATURE_NAMES.index(name))
+    if not indices:
+        raise DefenseError("feature subset must not be empty")
+    return full[indices]

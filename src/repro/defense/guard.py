@@ -1,0 +1,109 @@
+"""The deployed defense: a guarded voice assistant.
+
+The paper's defense is not a standalone classifier — it sits *in
+front of* the assistant's recogniser and vetoes commands whose
+recordings carry demodulation traces. :class:`GuardedVoiceAssistant`
+composes the two, exposing the single call a device firmware would
+make per utterance and the bookkeeping the evaluation needs (what was
+recognised, whether the guard fired, what the device ultimately did).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.defense.detector import DetectionResult, InaudibleVoiceDetector
+from repro.dsp.signals import Signal
+from repro.speech.recognizer import KeywordRecognizer, RecognitionResult
+from repro.errors import DefenseError
+
+
+@dataclass(frozen=True)
+class GuardedOutcome:
+    """What the protected assistant did with one recording.
+
+    Attributes
+    ----------
+    executed_command:
+        The command acted upon, or ``None`` if nothing was executed
+        (either not recognised, or vetoed by the guard).
+    recognition:
+        The raw recogniser result.
+    detection:
+        The guard's verdict (``None`` when recognition already failed —
+        the guard is only consulted for recordings that would
+        otherwise trigger an action).
+    vetoed:
+        True when recognition succeeded but the guard blocked it.
+    """
+
+    executed_command: str | None
+    recognition: RecognitionResult
+    detection: DetectionResult | None
+    vetoed: bool
+
+
+class GuardedVoiceAssistant:
+    """A voice assistant with the inaudible-command defense installed.
+
+    Parameters
+    ----------
+    recognizer:
+        An enrolled :class:`KeywordRecognizer` (the assistant's ASR).
+    detector:
+        A trained :class:`InaudibleVoiceDetector` (the guard).
+
+    Notes
+    -----
+    The guard runs only when the recogniser accepts — matching the
+    deployment the paper describes, where the defense filters
+    *actionable* audio rather than the always-on stream (which would
+    multiply the false-alarm budget by every second of silence).
+    """
+
+    def __init__(
+        self,
+        recognizer: KeywordRecognizer,
+        detector: InaudibleVoiceDetector,
+    ) -> None:
+        if not recognizer.commands:
+            raise DefenseError(
+                "the recogniser has no enrolled commands; enroll before "
+                "installing the guard"
+            )
+        self.recognizer = recognizer
+        self.detector = detector
+
+    def process(self, recording: Signal) -> GuardedOutcome:
+        """Handle one recording exactly as device firmware would."""
+        recognition = self.recognizer.recognize(recording)
+        if not recognition.accepted:
+            return GuardedOutcome(
+                executed_command=None,
+                recognition=recognition,
+                detection=None,
+                vetoed=False,
+            )
+        detection = self.detector.classify(recording)
+        if detection.is_attack:
+            return GuardedOutcome(
+                executed_command=None,
+                recognition=recognition,
+                detection=detection,
+                vetoed=True,
+            )
+        return GuardedOutcome(
+            executed_command=recognition.command,
+            recognition=recognition,
+            detection=detection,
+            vetoed=False,
+        )
+
+    def attack_succeeds(self, recording: Signal, command: str) -> bool:
+        """Did an injected ``command`` get *executed* despite the guard?
+
+        The end-to-end security metric of the defended system: the
+        attack must now beat the recogniser *and* evade the detector.
+        """
+        outcome = self.process(recording)
+        return outcome.executed_command == command

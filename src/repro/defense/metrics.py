@@ -1,0 +1,155 @@
+"""Detection metrics: ROC, AUC, confusion matrices."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DefenseError
+
+
+@dataclass(frozen=True)
+class RocCurve:
+    """A receiver operating characteristic.
+
+    Attributes
+    ----------
+    false_positive_rates, true_positive_rates:
+        Curve points, ascending in FPR, including (0,0) and (1,1).
+    thresholds:
+        Score threshold per point (descending; the endpoints use
+        +-inf sentinels).
+    """
+
+    false_positive_rates: np.ndarray
+    true_positive_rates: np.ndarray
+    thresholds: np.ndarray
+
+    def auc(self) -> float:
+        """Area under the curve via the trapezoid rule."""
+        return float(
+            np.trapezoid(self.true_positive_rates, self.false_positive_rates)
+        )
+
+    def tpr_at_fpr(self, max_fpr: float) -> float:
+        """Best TPR achievable with FPR <= ``max_fpr``.
+
+        The paper-family operating point is "high detection at ~1-5 %
+        false alarms"; this helper reads that off the curve.
+        """
+        if not 0 <= max_fpr <= 1:
+            raise DefenseError(f"max_fpr must be in [0, 1], got {max_fpr}")
+        mask = self.false_positive_rates <= max_fpr
+        if not np.any(mask):
+            return 0.0
+        return float(np.max(self.true_positive_rates[mask]))
+
+
+def roc_curve(labels: np.ndarray, scores: np.ndarray) -> RocCurve:
+    """Compute the ROC of scores against 0/1 labels.
+
+    Positive class is 1 (attack). Handles ties by grouping equal
+    scores into single curve points.
+    """
+    y = np.asarray(labels).ravel().astype(int)
+    s = np.asarray(scores, dtype=np.float64).ravel()
+    if y.shape != s.shape:
+        raise DefenseError("labels and scores must have equal length")
+    n_pos = int(np.sum(y == 1))
+    n_neg = int(np.sum(y == 0))
+    if n_pos == 0 or n_neg == 0:
+        raise DefenseError(
+            "ROC needs both classes present "
+            f"(got {n_pos} positives, {n_neg} negatives)"
+        )
+    order = np.argsort(-s, kind="stable")
+    sorted_scores = s[order]
+    sorted_labels = y[order]
+    tps = np.cumsum(sorted_labels == 1)
+    fps = np.cumsum(sorted_labels == 0)
+    # Keep only the last index of each tied-score run.
+    distinct = np.flatnonzero(np.diff(sorted_scores))
+    keep = np.r_[distinct, sorted_scores.size - 1]
+    tpr = np.r_[0.0, tps[keep] / n_pos]
+    fpr = np.r_[0.0, fps[keep] / n_neg]
+    thresholds = np.r_[np.inf, sorted_scores[keep]]
+    return RocCurve(
+        false_positive_rates=fpr,
+        true_positive_rates=tpr,
+        thresholds=thresholds,
+    )
+
+
+def auc(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve."""
+    return roc_curve(labels, scores).auc()
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Binary confusion counts (positive class = attack)."""
+
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+
+    @property
+    def total(self) -> int:
+        """Total classified samples."""
+        return (
+            self.true_positives
+            + self.false_positives
+            + self.true_negatives
+            + self.false_negatives
+        )
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of correct decisions."""
+        if self.total == 0:
+            raise DefenseError("empty confusion matrix has no accuracy")
+        return (self.true_positives + self.true_negatives) / self.total
+
+    @property
+    def true_positive_rate(self) -> float:
+        """Detection rate (recall on attacks)."""
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        """False-alarm rate on genuine recordings."""
+        denom = self.false_positives + self.true_negatives
+        return self.false_positives / denom if denom else 0.0
+
+    @property
+    def precision(self) -> float:
+        """Fraction of attack calls that were real attacks."""
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 0.0
+
+    def f1(self) -> float:
+        """Harmonic mean of precision and detection rate."""
+        p = self.precision
+        r = self.true_positive_rate
+        return 2 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+
+def confusion_matrix(
+    labels: np.ndarray, predictions: np.ndarray
+) -> ConfusionMatrix:
+    """Count a binary confusion matrix from 0/1 arrays."""
+    y = np.asarray(labels).ravel().astype(int)
+    p = np.asarray(predictions).ravel().astype(int)
+    if y.shape != p.shape:
+        raise DefenseError("labels and predictions must have equal length")
+    if y.size == 0:
+        raise DefenseError("cannot build a confusion matrix of nothing")
+    return ConfusionMatrix(
+        true_positives=int(np.sum((y == 1) & (p == 1))),
+        false_positives=int(np.sum((y == 0) & (p == 1))),
+        true_negatives=int(np.sum((y == 0) & (p == 0))),
+        false_negatives=int(np.sum((y == 1) & (p == 0))),
+    )

@@ -1,0 +1,120 @@
+"""Digital signal processing substrate.
+
+Every other subsystem in the library (acoustics, hardware models,
+attack generation, defense features) is built on the primitives in this
+package:
+
+``signals``
+    The :class:`~repro.dsp.signals.Signal` container (samples + sample
+    rate + physical unit) and waveform factories (tones, chirps, noise).
+``filters``
+    FIR and IIR filter design and application with explicit, validated
+    band edges.
+``resample``
+    Explicit rational resampling; the only sanctioned way to change a
+    signal's sample rate.
+``modulation``
+    Amplitude modulation / demodulation used by the attack pipeline.
+``spectrum``
+    Welch PSD, STFT/spectrogram and band-energy analysis.
+``measures``
+    dB conversions, RMS/SNR/THD and correlation measures.
+``windows``
+    Window functions used by the spectral estimators.
+"""
+
+from repro.dsp.signals import (
+    Signal,
+    Unit,
+    chirp,
+    from_samples,
+    mix,
+    multi_tone,
+    silence,
+    tone,
+    white_noise,
+)
+from repro.dsp.filters import (
+    FilterSpec,
+    band_pass,
+    band_stop,
+    fir_band_pass,
+    fir_low_pass,
+    high_pass,
+    low_pass,
+)
+from repro.dsp.resample import rational_ratio, resample, upsample_to
+from repro.dsp.modulation import (
+    am_demodulate_envelope,
+    am_demodulate_square_law,
+    am_modulate,
+    coherent_demodulate,
+    dsb_sc_modulate,
+)
+from repro.dsp.spectrum import (
+    PowerSpectrum,
+    Spectrogram,
+    band_power,
+    band_rms,
+    dominant_frequency,
+    power_spectrum,
+    spectrogram,
+    welch_psd,
+)
+from repro.dsp.measures import (
+    db_to_linear,
+    db_to_power_ratio,
+    linear_to_db,
+    max_cross_correlation,
+    normalized_correlation,
+    power_ratio_to_db,
+    residual_snr_db,
+    rms,
+    snr_db,
+    thd,
+)
+
+__all__ = [
+    "Signal",
+    "Unit",
+    "tone",
+    "multi_tone",
+    "chirp",
+    "white_noise",
+    "silence",
+    "from_samples",
+    "mix",
+    "FilterSpec",
+    "low_pass",
+    "high_pass",
+    "band_pass",
+    "band_stop",
+    "fir_low_pass",
+    "fir_band_pass",
+    "resample",
+    "upsample_to",
+    "rational_ratio",
+    "am_modulate",
+    "dsb_sc_modulate",
+    "am_demodulate_envelope",
+    "am_demodulate_square_law",
+    "coherent_demodulate",
+    "PowerSpectrum",
+    "Spectrogram",
+    "welch_psd",
+    "power_spectrum",
+    "spectrogram",
+    "band_power",
+    "band_rms",
+    "dominant_frequency",
+    "rms",
+    "linear_to_db",
+    "db_to_linear",
+    "power_ratio_to_db",
+    "db_to_power_ratio",
+    "snr_db",
+    "residual_snr_db",
+    "thd",
+    "normalized_correlation",
+    "max_cross_correlation",
+]

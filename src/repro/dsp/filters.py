@@ -1,0 +1,203 @@
+"""Filter design and application.
+
+Two families are provided:
+
+* Zero-phase IIR (Butterworth, applied with ``filtfilt``) — the
+  workhorse for band-limiting inside models, where phase linearity and
+  no group delay matter more than causality.
+* Linear-phase FIR (windowed sinc) — used where an explicit impulse
+  response is useful (e.g. channel models) or where very sharp
+  transition bands at high rates are needed.
+
+All design functions validate band edges against Nyquist and raise
+:class:`~repro.errors.FilterDesignError` rather than letting scipy
+produce a silently-wrong filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from repro.dsp.signals import Signal
+from repro.errors import FilterDesignError
+
+
+@dataclass(frozen=True)
+class FilterSpec:
+    """Declarative description of a frequency-selective filter.
+
+    Attributes
+    ----------
+    kind:
+        One of ``"lowpass"``, ``"highpass"``, ``"bandpass"``,
+        ``"bandstop"``.
+    low_hz:
+        Lower band edge; ignored for ``lowpass``.
+    high_hz:
+        Upper band edge; ignored for ``highpass``.
+    order:
+        Butterworth order (per section for band filters).
+    """
+
+    kind: str
+    low_hz: float = 0.0
+    high_hz: float = 0.0
+    order: int = 6
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("lowpass", "highpass", "bandpass", "bandstop"):
+            raise FilterDesignError(f"unknown filter kind {self.kind!r}")
+        if self.order < 1:
+            raise FilterDesignError(
+                f"filter order must be >= 1, got {self.order}"
+            )
+
+    def apply(self, signal: Signal) -> Signal:
+        """Apply this spec to a signal (zero-phase Butterworth)."""
+        if self.kind == "lowpass":
+            return low_pass(signal, self.high_hz, order=self.order)
+        if self.kind == "highpass":
+            return high_pass(signal, self.low_hz, order=self.order)
+        if self.kind == "bandpass":
+            return band_pass(signal, self.low_hz, self.high_hz, order=self.order)
+        return band_stop(signal, self.low_hz, self.high_hz, order=self.order)
+
+
+def _check_edge(frequency: float, sample_rate: float, name: str) -> None:
+    nyquist = sample_rate / 2
+    if not (0 < frequency < nyquist):
+        raise FilterDesignError(
+            f"{name} ({frequency} Hz) must lie strictly between 0 and "
+            f"Nyquist ({nyquist} Hz) at sample rate {sample_rate} Hz"
+        )
+
+
+def _min_length(order: int) -> int:
+    # filtfilt needs a signal longer than its padding; a generous lower
+    # bound avoids cryptic scipy errors on near-empty inputs.
+    return 3 * (2 * order + 1)
+
+
+def _apply_sos(signal: Signal, sos: np.ndarray) -> Signal:
+    order_hint = sos.shape[0] * 2
+    if signal.n_samples <= _min_length(order_hint):
+        raise FilterDesignError(
+            f"signal too short ({signal.n_samples} samples) for "
+            f"zero-phase filtering at this order"
+        )
+    filtered = sp_signal.sosfiltfilt(sos, signal.samples)
+    return signal.replace(samples=filtered)
+
+
+def low_pass(signal: Signal, cutoff_hz: float, order: int = 6) -> Signal:
+    """Zero-phase Butterworth low-pass filter."""
+    _check_edge(cutoff_hz, signal.sample_rate, "cutoff_hz")
+    sos = sp_signal.butter(
+        order, cutoff_hz, btype="lowpass", fs=signal.sample_rate, output="sos"
+    )
+    return _apply_sos(signal, sos)
+
+
+def high_pass(signal: Signal, cutoff_hz: float, order: int = 6) -> Signal:
+    """Zero-phase Butterworth high-pass filter."""
+    _check_edge(cutoff_hz, signal.sample_rate, "cutoff_hz")
+    sos = sp_signal.butter(
+        order, cutoff_hz, btype="highpass", fs=signal.sample_rate, output="sos"
+    )
+    return _apply_sos(signal, sos)
+
+
+def _check_band(low_hz: float, high_hz: float, sample_rate: float) -> None:
+    _check_edge(low_hz, sample_rate, "low_hz")
+    _check_edge(high_hz, sample_rate, "high_hz")
+    if low_hz >= high_hz:
+        raise FilterDesignError(
+            f"band edges inverted: low {low_hz} Hz >= high {high_hz} Hz"
+        )
+
+
+def band_pass(
+    signal: Signal, low_hz: float, high_hz: float, order: int = 6
+) -> Signal:
+    """Zero-phase Butterworth band-pass filter."""
+    _check_band(low_hz, high_hz, signal.sample_rate)
+    sos = sp_signal.butter(
+        order,
+        [low_hz, high_hz],
+        btype="bandpass",
+        fs=signal.sample_rate,
+        output="sos",
+    )
+    return _apply_sos(signal, sos)
+
+
+def band_stop(
+    signal: Signal, low_hz: float, high_hz: float, order: int = 6
+) -> Signal:
+    """Zero-phase Butterworth band-stop (notch) filter."""
+    _check_band(low_hz, high_hz, signal.sample_rate)
+    sos = sp_signal.butter(
+        order,
+        [low_hz, high_hz],
+        btype="bandstop",
+        fs=signal.sample_rate,
+        output="sos",
+    )
+    return _apply_sos(signal, sos)
+
+
+# ----------------------------------------------------------------------
+# FIR designs
+# ----------------------------------------------------------------------
+def fir_low_pass_taps(
+    cutoff_hz: float, sample_rate: float, n_taps: int = 257
+) -> np.ndarray:
+    """Design windowed-sinc low-pass taps (Hamming window)."""
+    _check_edge(cutoff_hz, sample_rate, "cutoff_hz")
+    if n_taps < 3 or n_taps % 2 == 0:
+        raise FilterDesignError(
+            f"n_taps must be an odd integer >= 3, got {n_taps}"
+        )
+    return sp_signal.firwin(n_taps, cutoff_hz, fs=sample_rate)
+
+
+def fir_band_pass_taps(
+    low_hz: float, high_hz: float, sample_rate: float, n_taps: int = 257
+) -> np.ndarray:
+    """Design windowed-sinc band-pass taps (Hamming window)."""
+    _check_band(low_hz, high_hz, sample_rate)
+    if n_taps < 3 or n_taps % 2 == 0:
+        raise FilterDesignError(
+            f"n_taps must be an odd integer >= 3, got {n_taps}"
+        )
+    return sp_signal.firwin(
+        n_taps, [low_hz, high_hz], fs=sample_rate, pass_zero=False
+    )
+
+
+def _apply_fir(signal: Signal, taps: np.ndarray) -> Signal:
+    # Compensate the linear-phase group delay so FIR results align with
+    # the zero-phase IIR paths used elsewhere.
+    delay = (len(taps) - 1) // 2
+    padded = np.concatenate([signal.samples, np.zeros(delay)])
+    filtered = sp_signal.lfilter(taps, [1.0], padded)[delay:]
+    return signal.replace(samples=filtered)
+
+
+def fir_low_pass(
+    signal: Signal, cutoff_hz: float, n_taps: int = 257
+) -> Signal:
+    """Linear-phase FIR low-pass, delay-compensated."""
+    taps = fir_low_pass_taps(cutoff_hz, signal.sample_rate, n_taps)
+    return _apply_fir(signal, taps)
+
+
+def fir_band_pass(
+    signal: Signal, low_hz: float, high_hz: float, n_taps: int = 257
+) -> Signal:
+    """Linear-phase FIR band-pass, delay-compensated."""
+    taps = fir_band_pass_taps(low_hz, high_hz, signal.sample_rate, n_taps)
+    return _apply_fir(signal, taps)

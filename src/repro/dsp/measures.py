@@ -1,0 +1,181 @@
+"""Scalar signal measures: dB conversions, SNR, THD, correlation.
+
+Conventions
+-----------
+* ``linear_to_db`` / ``db_to_linear`` operate on *amplitude* ratios
+  (20 log10); ``power_ratio_to_db`` / ``db_to_power_ratio`` operate on
+  *power* ratios (10 log10). The two families are deliberately named
+  differently because mixing them up is the classic acoustics bug.
+* A floor of :data:`EPSILON_POWER` avoids ``-inf`` for silent signals
+  while remaining ~300 dB below any level this library measures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.signals import Signal
+from repro.errors import SignalDomainError
+
+#: Smallest power considered distinguishable from silence.
+EPSILON_POWER = 1e-30
+
+
+def rms(samples: np.ndarray | Signal) -> float:
+    """Root-mean-square of an array or :class:`Signal`."""
+    if isinstance(samples, Signal):
+        return samples.rms()
+    array = np.asarray(samples, dtype=np.float64)
+    if array.size == 0:
+        return 0.0
+    return float(np.sqrt(np.mean(np.square(array))))
+
+
+def linear_to_db(amplitude_ratio: float) -> float:
+    """Convert an amplitude ratio to decibels (20 log10)."""
+    if amplitude_ratio < 0:
+        raise SignalDomainError(
+            f"amplitude ratio must be non-negative, got {amplitude_ratio}"
+        )
+    return 10.0 * np.log10(max(amplitude_ratio**2, EPSILON_POWER))
+
+
+def db_to_linear(db: float) -> float:
+    """Convert decibels to an amplitude ratio (inverse of 20 log10)."""
+    return float(10.0 ** (db / 20.0))
+
+
+def power_ratio_to_db(power_ratio: float) -> float:
+    """Convert a power ratio to decibels (10 log10)."""
+    if power_ratio < 0:
+        raise SignalDomainError(
+            f"power ratio must be non-negative, got {power_ratio}"
+        )
+    return float(10.0 * np.log10(max(power_ratio, EPSILON_POWER)))
+
+
+def db_to_power_ratio(db: float) -> float:
+    """Convert decibels to a power ratio (inverse of 10 log10)."""
+    return float(10.0 ** (db / 10.0))
+
+
+def snr_db(signal: Signal, noise: Signal) -> float:
+    """Signal-to-noise ratio in dB from separate signal and noise.
+
+    Both inputs must share rate and unit; the ratio is of mean-square
+    powers.
+    """
+    signal.require_same_rate(noise)
+    signal.require_same_unit(noise)
+    p_signal = signal.rms() ** 2
+    p_noise = noise.rms() ** 2
+    return power_ratio_to_db(
+        max(p_signal, EPSILON_POWER) / max(p_noise, EPSILON_POWER)
+    )
+
+
+def residual_snr_db(reference: Signal, degraded: Signal) -> float:
+    """SNR of ``degraded`` against ``reference`` after optimal gain.
+
+    The degraded signal is projected onto the reference (least-squares
+    gain), and the residual is treated as noise. Robust to arbitrary
+    scaling, which matters because nonlinear demodulation changes
+    absolute levels.
+    """
+    reference.require_same_rate(degraded)
+    n = min(reference.n_samples, degraded.n_samples)
+    if n == 0:
+        raise SignalDomainError("cannot compare empty signals")
+    x = reference.samples[:n]
+    y = degraded.samples[:n]
+    denom = float(np.dot(x, x))
+    if denom <= EPSILON_POWER:
+        raise SignalDomainError("reference signal is silent")
+    gain = float(np.dot(x, y)) / denom
+    residual = y - gain * x
+    p_signal = float(np.mean(np.square(gain * x)))
+    p_noise = float(np.mean(np.square(residual)))
+    return power_ratio_to_db(
+        max(p_signal, EPSILON_POWER) / max(p_noise, EPSILON_POWER)
+    )
+
+
+def thd(signal: Signal, fundamental_hz: float, n_harmonics: int = 5) -> float:
+    """Total harmonic distortion as an amplitude ratio.
+
+    Computed from the Welch PSD: the square root of the summed harmonic
+    powers (2f..Nf) over the fundamental power. Harmonics above Nyquist
+    are ignored.
+    """
+    from repro.dsp.spectrum import welch_psd  # local import: avoid cycle
+
+    if fundamental_hz <= 0 or fundamental_hz >= signal.nyquist:
+        raise SignalDomainError(
+            f"fundamental {fundamental_hz} Hz outside (0, {signal.nyquist})"
+        )
+    if n_harmonics < 1:
+        raise SignalDomainError(
+            f"n_harmonics must be >= 1, got {n_harmonics}"
+        )
+    psd = welch_psd(signal)
+    half_band = max(psd.bin_width * 3, fundamental_hz * 0.02)
+    p_fund = psd.band_power(
+        fundamental_hz - half_band, fundamental_hz + half_band
+    )
+    if p_fund <= EPSILON_POWER:
+        raise SignalDomainError(
+            f"no power found at the fundamental {fundamental_hz} Hz"
+        )
+    p_harm = 0.0
+    for k in range(2, n_harmonics + 2):
+        f_k = k * fundamental_hz
+        if f_k >= signal.nyquist:
+            break
+        p_harm += psd.band_power(f_k - half_band, f_k + half_band)
+    return float(np.sqrt(p_harm / p_fund))
+
+
+def normalized_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Pearson correlation of two equal-length arrays, in ``[-1, 1]``.
+
+    Returns 0.0 when either input has (near-)zero variance, which is
+    the behaviour the defense features need for silent segments.
+    """
+    x = np.asarray(a, dtype=np.float64)
+    y = np.asarray(b, dtype=np.float64)
+    if x.shape != y.shape:
+        raise SignalDomainError(
+            f"correlation inputs must match in shape: {x.shape} vs {y.shape}"
+        )
+    if x.size < 2:
+        return 0.0
+    x = x - np.mean(x)
+    y = y - np.mean(y)
+    denom = float(np.sqrt(np.sum(x * x) * np.sum(y * y)))
+    if denom <= EPSILON_POWER:
+        return 0.0
+    return float(np.clip(np.dot(x, y) / denom, -1.0, 1.0))
+
+
+def max_cross_correlation(
+    a: np.ndarray, b: np.ndarray, max_lag: int = 0
+) -> float:
+    """Maximum normalised correlation over integer lags up to ``max_lag``.
+
+    Used by the defense to align the low-frequency trace with the voice
+    band envelope despite small group-delay differences.
+    """
+    if max_lag < 0:
+        raise SignalDomainError(f"max_lag must be >= 0, got {max_lag}")
+    x = np.asarray(a, dtype=np.float64)
+    y = np.asarray(b, dtype=np.float64)
+    n = min(x.size, y.size)
+    x = x[:n]
+    y = y[:n]
+    best = normalized_correlation(x, y)
+    for lag in range(1, max_lag + 1):
+        if lag >= n:
+            break
+        best = max(best, normalized_correlation(x[lag:], y[: n - lag]))
+        best = max(best, normalized_correlation(x[: n - lag], y[lag:]))
+    return best

@@ -1,0 +1,181 @@
+"""Amplitude modulation and demodulation.
+
+The attack pipeline shifts a baseband voice command ``m(t)`` to an
+ultrasonic carrier ``f_c`` as
+
+    s(t) = [beta * m(t) + 1] * cos(2*pi*f_c*t)          (with carrier)
+
+or, in the two-speaker/split variants, as the suppressed-carrier
+product ``m(t) * cos(2*pi*f_c*t)`` with the carrier radiated
+separately. On the receiving side the *microphone's own quadratic
+nonlinearity* performs square-law demodulation; the functions here also
+provide ideal envelope/coherent demodulators used as analysis
+references and by the defense's reconstruction features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from repro.dsp.filters import low_pass
+from repro.dsp.signals import Signal
+from repro.errors import ModulationError
+
+
+def _check_carrier(
+    carrier_hz: float, bandwidth_hz: float, sample_rate: float
+) -> None:
+    if carrier_hz <= 0:
+        raise ModulationError(
+            f"carrier frequency must be positive, got {carrier_hz}"
+        )
+    if bandwidth_hz < 0:
+        raise ModulationError(
+            f"bandwidth must be non-negative, got {bandwidth_hz}"
+        )
+    nyquist = sample_rate / 2
+    if carrier_hz + bandwidth_hz >= nyquist:
+        raise ModulationError(
+            f"upper sideband {carrier_hz + bandwidth_hz} Hz reaches "
+            f"Nyquist ({nyquist} Hz); raise the sample rate or lower "
+            "the carrier"
+        )
+    if carrier_hz - bandwidth_hz <= 0:
+        raise ModulationError(
+            f"lower sideband {carrier_hz - bandwidth_hz} Hz touches DC; "
+            "the carrier is too low for this bandwidth"
+        )
+
+
+def am_modulate(
+    baseband: Signal,
+    carrier_hz: float,
+    modulation_depth: float = 1.0,
+    carrier_amplitude: float = 1.0,
+    bandwidth_hz: float | None = None,
+    phase: float = 0.0,
+) -> Signal:
+    """Full-carrier amplitude modulation.
+
+    Produces ``A * (1 + depth * m_n(t)) * cos(2*pi*f_c*t)`` where
+    ``m_n`` is the baseband normalised to unit peak. The result peaks
+    at ``A * (1 + depth)``.
+
+    Parameters
+    ----------
+    baseband:
+        Message signal; normalised internally to unit peak so that
+        ``modulation_depth`` has its textbook meaning.
+    carrier_hz:
+        Carrier frequency. Together with ``bandwidth_hz`` (defaulting
+        to the baseband Nyquist) it must keep both sidebands inside
+        ``(0, Nyquist)``.
+    modulation_depth:
+        AM depth in ``(0, 1]``. Depths above 1 overmodulate, which
+        square-law receivers demodulate with gross distortion, so they
+        are rejected.
+    carrier_amplitude:
+        Peak amplitude of the unmodulated carrier.
+
+    Raises
+    ------
+    ModulationError
+        For invalid depth or a sideband outside the representable band.
+    """
+    if not 0 < modulation_depth <= 1:
+        raise ModulationError(
+            f"modulation depth must be in (0, 1], got {modulation_depth}"
+        )
+    if carrier_amplitude <= 0:
+        raise ModulationError(
+            f"carrier amplitude must be positive, got {carrier_amplitude}"
+        )
+    if bandwidth_hz is None:
+        bandwidth_hz = baseband.sample_rate / 2
+    _check_carrier(carrier_hz, bandwidth_hz, baseband.sample_rate)
+    peak = baseband.peak()
+    message = baseband.samples / peak if peak > 0 else baseband.samples
+    t = baseband.times()
+    carrier = np.cos(2 * np.pi * carrier_hz * t + phase)
+    modulated = (
+        carrier_amplitude * (1.0 + modulation_depth * message) * carrier
+    )
+    return baseband.replace(samples=modulated)
+
+
+def dsb_sc_modulate(
+    baseband: Signal,
+    carrier_hz: float,
+    amplitude: float = 1.0,
+    bandwidth_hz: float | None = None,
+    phase: float = 0.0,
+) -> Signal:
+    """Double-sideband suppressed-carrier modulation.
+
+    This is the per-speaker waveform in the split attack: the sidebands
+    ride on one speaker while the carrier tone is radiated by another,
+    so no single speaker carries the complete AM signal whose envelope
+    its own nonlinearity could make audible.
+    """
+    if amplitude <= 0:
+        raise ModulationError(f"amplitude must be positive, got {amplitude}")
+    if bandwidth_hz is None:
+        bandwidth_hz = baseband.sample_rate / 2
+    _check_carrier(carrier_hz, bandwidth_hz, baseband.sample_rate)
+    peak = baseband.peak()
+    message = baseband.samples / peak if peak > 0 else baseband.samples
+    t = baseband.times()
+    modulated = amplitude * message * np.cos(2 * np.pi * carrier_hz * t + phase)
+    return baseband.replace(samples=modulated)
+
+
+def am_demodulate_envelope(
+    modulated: Signal, cutoff_hz: float = 8000.0, order: int = 6
+) -> Signal:
+    """Ideal envelope detector: analytic-signal magnitude, low-passed,
+    with the DC carrier pedestal removed.
+
+    Used as the *reference* demodulator when checking how faithful the
+    microphone's nonlinear demodulation is.
+    """
+    envelope = np.abs(sp_signal.hilbert(modulated.samples))
+    env_signal = modulated.replace(samples=envelope)
+    smoothed = low_pass(env_signal, cutoff_hz, order=order)
+    return smoothed.replace(samples=smoothed.samples - np.mean(smoothed.samples))
+
+
+def am_demodulate_square_law(
+    modulated: Signal, cutoff_hz: float = 8000.0, order: int = 6
+) -> Signal:
+    """Square-law demodulation: ``x -> x**2`` then low-pass, DC removed.
+
+    This mirrors exactly what the microphone's quadratic term does and
+    is used in analysis to predict the recorded baseband.
+    """
+    squared = modulated.replace(samples=np.square(modulated.samples))
+    smoothed = low_pass(squared, cutoff_hz, order=order)
+    return smoothed.replace(samples=smoothed.samples - np.mean(smoothed.samples))
+
+
+def coherent_demodulate(
+    modulated: Signal,
+    carrier_hz: float,
+    cutoff_hz: float = 8000.0,
+    phase: float = 0.0,
+    order: int = 6,
+) -> Signal:
+    """Synchronous (product) demodulation with a known carrier.
+
+    Multiplying by the carrier shifts the sidebands back to baseband;
+    the factor 2 restores the original amplitude scale.
+    """
+    if carrier_hz <= 0 or carrier_hz >= modulated.nyquist:
+        raise ModulationError(
+            f"carrier {carrier_hz} Hz outside (0, {modulated.nyquist}) Hz"
+        )
+    t = modulated.times()
+    product = modulated.samples * np.cos(2 * np.pi * carrier_hz * t + phase)
+    mixed = modulated.replace(samples=2.0 * product)
+    smoothed = low_pass(mixed, cutoff_hz, order=order)
+    return smoothed.replace(samples=smoothed.samples - np.mean(smoothed.samples))

@@ -1,0 +1,86 @@
+"""Window functions used by the spectral estimators.
+
+Implemented directly (rather than via :mod:`scipy.signal.windows`) so
+their definitions are explicit and testable; all are the standard
+periodic-symmetric forms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SignalDomainError
+
+
+def rectangular(n: int) -> np.ndarray:
+    """All-ones window (no tapering)."""
+    _check_length(n)
+    return np.ones(n)
+
+
+def hann(n: int) -> np.ndarray:
+    """Hann (raised-cosine) window — default for PSD estimation."""
+    _check_length(n)
+    if n == 1:
+        return np.ones(1)
+    k = np.arange(n)
+    return 0.5 - 0.5 * np.cos(2 * np.pi * k / (n - 1))
+
+
+def hamming(n: int) -> np.ndarray:
+    """Hamming window."""
+    _check_length(n)
+    if n == 1:
+        return np.ones(1)
+    k = np.arange(n)
+    return 0.54 - 0.46 * np.cos(2 * np.pi * k / (n - 1))
+
+
+def blackman(n: int) -> np.ndarray:
+    """Blackman window — higher sidelobe rejection, wider main lobe."""
+    _check_length(n)
+    if n == 1:
+        return np.ones(1)
+    k = np.arange(n)
+    x = 2 * np.pi * k / (n - 1)
+    return 0.42 - 0.5 * np.cos(x) + 0.08 * np.cos(2 * x)
+
+
+_WINDOWS = {
+    "rectangular": rectangular,
+    "hann": hann,
+    "hamming": hamming,
+    "blackman": blackman,
+}
+
+
+def get_window(name: str, n: int) -> np.ndarray:
+    """Look up a window by name.
+
+    Raises
+    ------
+    SignalDomainError
+        For unknown window names, listing the valid choices.
+    """
+    try:
+        factory = _WINDOWS[name]
+    except KeyError:
+        raise SignalDomainError(
+            f"unknown window {name!r}; choose from {sorted(_WINDOWS)}"
+        ) from None
+    return factory(n)
+
+
+def _check_length(n: int) -> None:
+    if n < 1:
+        raise SignalDomainError(f"window length must be >= 1, got {n}")
+
+
+def coherent_gain(window: np.ndarray) -> float:
+    """Mean of the window — amplitude correction for windowed FFTs."""
+    return float(np.mean(window))
+
+
+def noise_gain(window: np.ndarray) -> float:
+    """Mean square of the window — power correction for windowed PSDs."""
+    return float(np.mean(np.square(window)))

@@ -1,0 +1,86 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures without
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SampleRateError(ReproError):
+    """Two signals with incompatible sample rates were combined.
+
+    The library never resamples implicitly; callers must convert
+    explicitly with :func:`repro.dsp.resample.resample` so that every
+    rate change is a visible, auditable step.
+    """
+
+
+class SignalDomainError(ReproError):
+    """An operation received a signal in the wrong physical domain.
+
+    For example, feeding an electrical (volt) signal to an acoustic
+    propagation model that expects sound pressure in pascals.
+    """
+
+
+class FilterDesignError(ReproError):
+    """A filter specification cannot be realised.
+
+    Raised for cut-off frequencies at or beyond Nyquist, non-positive
+    orders, or inverted band edges.
+    """
+
+
+class ModulationError(ReproError):
+    """Invalid modulation parameters.
+
+    Raised when a carrier frequency would place a sideband at or above
+    Nyquist, or when the modulation depth is outside ``(0, 1]``.
+    """
+
+
+class GeometryError(ReproError):
+    """Invalid spatial configuration, such as coincident source and
+    receiver positions or a room that does not contain a position."""
+
+
+class HardwareModelError(ReproError):
+    """Invalid hardware-model configuration.
+
+    Raised for non-physical parameters such as a negative saturation
+    level, an ADC with zero bits, or a speaker with an empty passband.
+    """
+
+
+class SynthesisError(ReproError):
+    """Speech synthesis failed, e.g. an unknown phoneme or an empty
+    phoneme sequence."""
+
+
+class RecognitionError(ReproError):
+    """The recogniser was used incorrectly, e.g. asked to classify
+    before any templates were enrolled."""
+
+
+class AttackConfigError(ReproError):
+    """Invalid attack configuration.
+
+    Raised for empty speaker arrays, band splits that do not cover the
+    requested voice bandwidth, or carrier frequencies that make the
+    attack audible by construction.
+    """
+
+
+class DefenseError(ReproError):
+    """Invalid defense configuration or use, e.g. predicting with an
+    untrained classifier or training on a single-class dataset."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was misconfigured, e.g. an empty sweep."""

@@ -1,0 +1,74 @@
+"""Command-line entry point for the experiment harness.
+
+Run a single experiment::
+
+    python -m repro.experiments F4
+
+Run everything (quick mode)::
+
+    python -m repro.experiments all
+
+Add ``--full`` for the full-resolution sweeps recorded in
+EXPERIMENTS.md, and ``--seed N`` to vary the master seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument schema (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment ID (%s) or 'all'"
+        % ", ".join(sorted(ALL_EXPERIMENTS)),
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="full-resolution sweeps (slow) instead of quick mode",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="master random seed"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    requested = args.experiment.upper()
+    if requested == "ALL":
+        names = list(ALL_EXPERIMENTS)
+    elif requested in ALL_EXPERIMENTS:
+        names = [requested]
+    else:
+        print(
+            f"unknown experiment {args.experiment!r}; choose from "
+            f"{sorted(ALL_EXPERIMENTS)} or 'all'",
+            file=sys.stderr,
+        )
+        return 2
+    for name in names:
+        started = time.time()
+        table = ALL_EXPERIMENTS[name].run(
+            quick=not args.full, seed=args.seed
+        )
+        elapsed = time.time() - started
+        print(f"=== {name} ({elapsed:.0f} s)")
+        print(table.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""A3 — ablation: which defense features carry the detection.
+
+Compares detectors restricted to the trace-power features, to the
+correlation features, and to the full vector. The paper family's
+finding: power and correlation are individually strong and complement
+each other against borderline cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.defense.dataset import DatasetConfig, build_dataset
+from repro.defense.detector import InaudibleVoiceDetector
+from repro.defense.metrics import auc
+from repro.sim.results import ResultTable
+
+SUBSETS: dict[str, tuple[str, ...]] = {
+    "power only": ("trace_power_db", "trace_to_voice_db"),
+    "correlation only": (
+        "envelope_correlation",
+        "envelope_power_correlation",
+    ),
+    "all features": (
+        "trace_power_db",
+        "trace_to_voice_db",
+        "envelope_correlation",
+        "envelope_power_correlation",
+        "voice_power_db",
+    ),
+}
+
+
+def run(quick: bool = True, seed: int = 0) -> ResultTable:
+    """Test AUC and accuracy per feature subset."""
+    n_trials = 3 if quick else 8
+    table = ResultTable(
+        title="A3: defense feature ablation",
+        columns=["features", "AUC", "accuracy"],
+    )
+    for label, subset in SUBSETS.items():
+        config = DatasetConfig(
+            commands=("ok_google", "alexa"),
+            distances_m=(1.0, 2.0),
+            n_trials=n_trials,
+            attacker_kind="single_full",
+            feature_subset=subset,
+            seed=seed,
+        )
+        dataset = build_dataset(config)
+        rng = np.random.default_rng(seed + 3)
+        train, test = dataset.split(0.6, rng)
+        detector = InaudibleVoiceDetector(feature_subset=subset).fit(train)
+        scores = detector.scores_for(test)
+        confusion = detector.evaluate(test)
+        table.add_row(label, auc(test.labels, scores), confusion.accuracy)
+    return table

@@ -1,0 +1,63 @@
+"""F2 — audible self-leakage of a single speaker vs drive power.
+
+The motivating measurement of the long-range design: as the single
+wideband speaker's drive rises, its own nonlinearity demodulates the AM
+waveform and the rig becomes audible to a bystander. Leakage SPL grows
+~40 dB per decade of drive power (the quadratic term), crossing the
+hearing threshold far below the power needed for long range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attack.leakage import leakage_report
+from repro.attack.pipeline import AttackPipeline
+from repro.hardware.devices import horn_tweeter
+from repro.sim.results import ResultTable
+from repro.speech.commands import synthesize_command
+
+
+def run(
+    quick: bool = True,
+    seed: int = 0,
+    command: str = "ok_google",
+    bystander_distance_m: float = 0.5,
+) -> ResultTable:
+    """Sweep drive power; report leakage level and audibility margin."""
+    rng = np.random.default_rng(seed)
+    voice = synthesize_command(command, rng)
+    drive = AttackPipeline().generate(voice)
+    speaker = horn_tweeter()
+    max_power = speaker.config.max_electrical_power_w
+    if quick:
+        fractions = (0.01, 0.1, 0.5, 1.0)
+    else:
+        fractions = (0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 0.5, 1.0)
+    table = ResultTable(
+        title=(
+            "F2: single-speaker audible leakage vs drive power "
+            f"(bystander at {bystander_distance_m} m)"
+        ),
+        columns=[
+            "power W",
+            "drive level",
+            "leakage dBA",
+            "margin dB",
+            "audible",
+        ],
+    )
+    for fraction in fractions:
+        power = fraction * max_power
+        level = speaker.drive_level_for_power(power)
+        report = leakage_report(
+            speaker, drive, level, bystander_distance_m
+        )
+        table.add_row(
+            power,
+            level,
+            report.a_weighted_level_dba,
+            report.margin_db,
+            report.is_audible,
+        )
+    return table

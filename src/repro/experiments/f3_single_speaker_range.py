@@ -1,0 +1,63 @@
+"""F3 — single-speaker attack success vs distance.
+
+Two operating modes of the baseline rig:
+
+* **full drive** — effective at metres of range but audibly leaking
+  (the conspicuous configuration the paper family demonstrates);
+* **inaudible drive** — capped by the bystander constraint, which
+  collapses the useful range to arm's length. The gap between these
+  two curves *is* the problem the long-range attack solves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.acoustics.geometry import Position
+from repro.attack.attacker import SingleSpeakerAttacker
+from repro.hardware.devices import horn_tweeter
+from repro.sim.results import ResultTable
+from repro.sim.runner import ScenarioRunner
+from repro.sim.scenario import Scenario, VictimDevice
+from repro.sim.sweep import success_rate
+from repro.speech.commands import synthesize_command
+
+
+def run(
+    quick: bool = True, seed: int = 0, command: str = "ok_google"
+) -> ResultTable:
+    """Success rate by distance for both drive modes."""
+    rng = np.random.default_rng(seed)
+    distances = (0.5, 1.0, 2.0, 3.0) if quick else (
+        0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0
+    )
+    n_trials = 3 if quick else 10
+    device = VictimDevice.phone(seed=seed + 1)
+    attacker_position = Position(0.0, 2.0, 1.0)
+    attacker = SingleSpeakerAttacker(horn_tweeter(), attacker_position)
+    base = Scenario(
+        command=command,
+        attacker_position=attacker_position,
+        victim_position=attacker_position.translated(1.0, 0.0, 0.0),
+    )
+    voice = synthesize_command(command, rng)
+    full = attacker.emit(voice, drive_level=1.0)
+    capped = attacker.emit_inaudibly(voice)
+    table = ResultTable(
+        title=(
+            "F3: single-speaker success rate vs distance "
+            f"(inaudible cap drive = {capped.drive_level:.3f})"
+        ),
+        columns=["distance m", "full drive", "inaudible drive"],
+    )
+    for distance in distances:
+        moved = base.at_distance(distance)
+        runner = ScenarioRunner(moved, device)
+        rate_full = success_rate(
+            runner, list(full.sources), n_trials, rng
+        )
+        rate_capped = success_rate(
+            runner, list(capped.sources), n_trials, rng
+        )
+        table.add_row(distance, rate_full, rate_capped)
+    return table

@@ -1,0 +1,54 @@
+"""F7 — defense trace feature separation.
+
+The figure behind the defense: per-class distributions of the sub-50 Hz
+trace power and the envelope correlation. Genuine recordings cluster
+deep below the attacked ones because a vocal tract radiates no coherent
+sub-50 Hz energy while nonlinear demodulation cannot avoid producing
+it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.defense.dataset import DatasetConfig, build_dataset
+from repro.defense.features import FEATURE_NAMES
+from repro.sim.results import ResultTable
+
+
+def run(quick: bool = True, seed: int = 0) -> ResultTable:
+    """Per-class mean/std of every defense feature, both attackers."""
+    n_trials = 2 if quick else 8
+    distances = (1.0, 2.0) if quick else (1.0, 2.0, 3.0)
+    table = ResultTable(
+        title="F7: defense feature statistics per class",
+        columns=["attacker", "feature", "genuine mean", "attack mean",
+                 "separation (d')"],
+    )
+    for kind in ("single_full", "long_range"):
+        config = DatasetConfig(
+            commands=("ok_google", "add_milk"),
+            distances_m=distances,
+            n_trials=n_trials,
+            attacker_kind=kind,
+            n_array_speakers=8,
+            seed=seed,
+        )
+        dataset = build_dataset(config)
+        genuine = dataset.features[dataset.labels == 0]
+        attacked = dataset.features[dataset.labels == 1]
+        for index, name in enumerate(FEATURE_NAMES):
+            g_mean = float(np.mean(genuine[:, index]))
+            a_mean = float(np.mean(attacked[:, index]))
+            pooled = float(
+                np.sqrt(
+                    0.5
+                    * (
+                        np.var(genuine[:, index])
+                        + np.var(attacked[:, index])
+                    )
+                )
+            )
+            d_prime = (a_mean - g_mean) / pooled if pooled > 0 else 0.0
+            table.add_row(kind, name, g_mean, a_mean, d_prime)
+    return table

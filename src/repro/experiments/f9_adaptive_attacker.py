@@ -1,0 +1,89 @@
+"""F9 — an adaptive attacker tries to hide the traces.
+
+The trace the defense keys on is the quadratic term ``a2 m^2``; its
+level relative to the wanted voice copy ``2 a2 m c`` scales with the
+modulation depth. An adaptive attacker therefore lowers the depth to
+shrink the trace — but the *same* scaling shrinks the delivered voice
+command, costing SNR and range. This experiment sweeps depth and
+reports both sides of the trade-off: detector score on attacked
+recordings, and attack success rate.
+
+The shape criterion: detection degrades gracefully as depth falls while
+attack success collapses first — the defense wins the trade.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.acoustics.channel import AcousticChannel
+from repro.acoustics.geometry import Position
+from repro.attack.attacker import SingleSpeakerAttacker
+from repro.attack.pipeline import AttackPipelineConfig
+from repro.defense.dataset import DatasetConfig, build_dataset
+from repro.defense.detector import InaudibleVoiceDetector
+from repro.sim.results import ResultTable
+from repro.sim.runner import ScenarioRunner
+from repro.sim.scenario import Scenario, VictimDevice
+from repro.hardware.devices import horn_tweeter
+from repro.speech.commands import synthesize_command
+
+
+def run(
+    quick: bool = True,
+    seed: int = 0,
+    command: str = "ok_google",
+    distance_m: float = 2.0,
+) -> ResultTable:
+    """Sweep modulation depth; report detection and attack success."""
+    rng = np.random.default_rng(seed)
+    depths = (1.0, 0.5, 0.25) if quick else (1.0, 0.7, 0.5, 0.35, 0.25, 0.15)
+    n_trials = 3 if quick else 10
+    # Train the detector once, on full-depth attacks only — the
+    # adaptive attacker deviates from the training distribution.
+    train_config = DatasetConfig(
+        commands=("ok_google", "alexa"),
+        distances_m=(1.0, 2.0),
+        n_trials=3 if quick else 8,
+        attacker_kind="single_full",
+        seed=seed,
+    )
+    detector = InaudibleVoiceDetector().fit(build_dataset(train_config))
+
+    device = VictimDevice.phone(seed=seed + 1)
+    position = Position(0.0, 2.0, 1.0)
+    scenario = Scenario(
+        command=command,
+        attacker_position=position,
+        victim_position=position.translated(distance_m, 0.0, 0.0),
+    )
+    runner = ScenarioRunner(scenario, device)
+    voice = synthesize_command(command, rng)
+    table = ResultTable(
+        title=(
+            "F9: adaptive attacker (modulation depth sweep) at "
+            f"{distance_m} m"
+        ),
+        columns=[
+            "mod depth",
+            "attack success",
+            "detection rate",
+            "mean det score",
+        ],
+    )
+    for depth in depths:
+        attacker = SingleSpeakerAttacker(
+            horn_tweeter(),
+            position,
+            AttackPipelineConfig(modulation_depth=depth),
+        )
+        emission = attacker.emit(voice, drive_level=1.0)
+        outcomes = runner.run_trials(
+            list(emission.sources), n_trials, rng
+        )
+        success = sum(o.success for o in outcomes) / len(outcomes)
+        verdicts = [detector.classify(o.recording) for o in outcomes]
+        detection = sum(v.is_attack for v in verdicts) / len(verdicts)
+        mean_score = float(np.mean([v.score for v in verdicts]))
+        table.add_row(depth, success, detection, mean_score)
+    return table

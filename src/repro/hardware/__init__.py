@@ -1,0 +1,51 @@
+"""Hardware models: microphones, speakers, amplifiers, ADCs.
+
+The reproduced attack exists because real transducers are not linear.
+This package models the relevant imperfections explicitly:
+
+``nonlinearity``
+    Memoryless polynomial transfer functions — the second-order term is
+    what demodulates AM ultrasound into audible baseband.
+``adc``
+    Sampling, quantisation and clipping.
+``amplifier``
+    Gain with saturation.
+``microphone``
+    The full receive chain of a voice-assistant microphone: acoustic
+    front-end (cover/port response), nonlinear transducer + amplifier,
+    anti-alias filter, ADC, self-noise.
+``speaker``
+    Ultrasonic transmitters, including *their* nonlinearity — the
+    source of the audible leakage that limits single-speaker attacks.
+``devices``
+    Calibrated presets (phone microphone, plastic-covered smart-speaker
+    microphone, piezo ultrasonic element, wideband horn tweeter).
+"""
+
+from repro.hardware.nonlinearity import PolynomialNonlinearity
+from repro.hardware.adc import AnalogToDigitalConverter
+from repro.hardware.amplifier import Amplifier
+from repro.hardware.microphone import Microphone, MicrophoneConfig
+from repro.hardware.speaker import UltrasonicSpeaker, SpeakerConfig
+from repro.hardware.devices import (
+    amazon_echo_microphone,
+    android_phone_microphone,
+    horn_tweeter,
+    ideal_linear_microphone,
+    ultrasonic_piezo_element,
+)
+
+__all__ = [
+    "PolynomialNonlinearity",
+    "AnalogToDigitalConverter",
+    "Amplifier",
+    "Microphone",
+    "MicrophoneConfig",
+    "UltrasonicSpeaker",
+    "SpeakerConfig",
+    "android_phone_microphone",
+    "amazon_echo_microphone",
+    "ideal_linear_microphone",
+    "ultrasonic_piezo_element",
+    "horn_tweeter",
+]

@@ -1,0 +1,76 @@
+"""Amplifier model: gain, optional nonlinearity, hard supply clipping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dsp.signals import Signal
+from repro.hardware.nonlinearity import PolynomialNonlinearity
+from repro.errors import HardwareModelError
+
+
+@dataclass(frozen=True)
+class Amplifier:
+    """Voltage amplifier with saturation.
+
+    Parameters
+    ----------
+    gain:
+        Linear voltage gain; must be positive.
+    saturation:
+        Output level at which the supply rails clip the waveform.
+    nonlinearity:
+        Optional weak polynomial distortion applied (after gain,
+        normalised to the saturation level) before clipping. Defaults
+        to perfectly linear: microphone-chain distortion is usually
+        attributed to the transducer + pre-amp jointly, and the
+        :class:`~repro.hardware.microphone.Microphone` model carries it
+        there.
+    """
+
+    gain: float = 1.0
+    saturation: float = np.inf
+    nonlinearity: PolynomialNonlinearity = field(
+        default_factory=PolynomialNonlinearity.linear
+    )
+
+    def __post_init__(self) -> None:
+        if self.gain <= 0:
+            raise HardwareModelError(
+                f"gain must be positive, got {self.gain}"
+            )
+        if self.saturation <= 0:
+            raise HardwareModelError(
+                f"saturation must be positive, got {self.saturation}"
+            )
+
+    def amplify(self, signal: Signal) -> Signal:
+        """Apply gain, distortion and clipping to a waveform."""
+        amplified = signal.samples * self.gain
+        if not self.nonlinearity.is_linear():
+            if np.isinf(self.saturation):
+                raise HardwareModelError(
+                    "a nonlinear amplifier needs a finite saturation "
+                    "level to normalise against"
+                )
+            normalized = amplified / self.saturation
+            amplified = (
+                self.nonlinearity.apply_array(normalized) * self.saturation
+            )
+        if np.isfinite(self.saturation):
+            amplified = np.clip(amplified, -self.saturation, self.saturation)
+        return signal.replace(samples=amplified)
+
+    def headroom_db(self, signal: Signal) -> float:
+        """dB between the post-gain peak and the saturation level.
+
+        Positive numbers mean the amplifier is operating cleanly.
+        """
+        peak = signal.peak() * self.gain
+        if peak == 0.0:
+            return np.inf
+        if np.isinf(self.saturation):
+            return np.inf
+        return float(20.0 * np.log10(self.saturation / peak))

@@ -1,0 +1,113 @@
+"""Calibrated device presets.
+
+The numeric values are engineering reconstructions: chosen so each
+device reproduces the *behaviour* reported in the attack literature
+(demodulation strength, noise floor, range ordering phone > covered
+smart speaker) rather than copied from any datasheet. Every value is a
+plain parameter, so experiments can sweep them.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.microphone import Microphone, MicrophoneConfig
+from repro.hardware.nonlinearity import PolynomialNonlinearity
+from repro.hardware.speaker import SpeakerConfig, UltrasonicSpeaker
+
+
+def android_phone_microphone() -> Microphone:
+    """A smartphone's exposed bottom-port MEMS microphone.
+
+    48 kHz capture, no cover over the port (so ultrasound reaches the
+    diaphragm almost unattenuated), and the comparatively strong
+    quadratic coefficient MEMS capsules exhibit when driven by
+    high-level ultrasound.
+    """
+    return Microphone(
+        MicrophoneConfig(
+            device_rate=48000.0,
+            full_scale_spl=120.0,
+            nonlinearity=PolynomialNonlinearity((1.0, 0.08, 0.008)),
+            noise_floor_spl=30.0,
+            front_end_attenuation_db=0.0,
+            name="android-phone",
+        )
+    )
+
+
+def amazon_echo_microphone() -> Microphone:
+    """A smart speaker's far-field microphone behind a plastic grille.
+
+    16 kHz far-field capture and ~8 dB of ultrasonic attenuation from
+    the enclosure — the physical reason the attack literature reports
+    consistently shorter ranges against the Echo than against phones.
+    """
+    return Microphone(
+        MicrophoneConfig(
+            device_rate=16000.0,
+            full_scale_spl=120.0,
+            nonlinearity=PolynomialNonlinearity((1.0, 0.08, 0.008)),
+            noise_floor_spl=30.0,
+            front_end_attenuation_db=5.0,
+            name="amazon-echo",
+        )
+    )
+
+
+def ideal_linear_microphone(device_rate: float = 48000.0) -> Microphone:
+    """A hypothetical perfectly linear microphone.
+
+    Control condition: against this device the inaudible attack
+    *cannot* work, because no term demodulates the ultrasound. Used by
+    tests and the defense's sanity experiments.
+    """
+    return Microphone(
+        MicrophoneConfig(
+            device_rate=device_rate,
+            full_scale_spl=120.0,
+            nonlinearity=PolynomialNonlinearity.linear(1.0),
+            noise_floor_spl=30.0,
+            front_end_attenuation_db=0.0,
+            name="ideal-linear",
+        )
+    )
+
+
+def ultrasonic_piezo_element() -> UltrasonicSpeaker:
+    """One element of the long-range attack's transducer array.
+
+    Small piezo transmitters: narrow mechanical passband around their
+    resonance, modest power (2 W), modest maximum SPL, and a weak but
+    non-zero driver nonlinearity. Dozens of these make up the array.
+    """
+    return UltrasonicSpeaker(
+        SpeakerConfig(
+            passband_hz=(23000.0, 60000.0),
+            max_spl_at_1m=110.0,
+            max_electrical_power_w=2.0,
+            nonlinearity=PolynomialNonlinearity((1.0, 0.03)),
+            out_of_band_rejection_db=15.0,
+            rolloff_db_per_octave=9.0,
+            name="piezo-element",
+        )
+    )
+
+
+def horn_tweeter() -> UltrasonicSpeaker:
+    """A wideband horn tweeter driven by a hi-fi amplifier.
+
+    The single-speaker baseline rig: much more power than a piezo
+    element and a response that extends *into* the audible band, which
+    is precisely why its nonlinear leakage is so audible — its
+    out-of-band rejection for demodulated baseband is poor.
+    """
+    return UltrasonicSpeaker(
+        SpeakerConfig(
+            passband_hz=(4000.0, 50000.0),
+            max_spl_at_1m=116.0,
+            max_electrical_power_w=25.0,
+            nonlinearity=PolynomialNonlinearity((1.0, 0.04)),
+            out_of_band_rejection_db=10.0,
+            rolloff_db_per_octave=9.0,
+            name="horn-tweeter",
+        )
+    )

@@ -1,0 +1,224 @@
+"""Ultrasonic transmitter model.
+
+The speaker is the attacker's weapon *and* the attack's Achilles heel:
+like the victim microphone, its driver is weakly nonlinear, so the AM
+ultrasound it radiates self-demodulates *inside the speaker* and the
+diaphragm emits a faint audible copy of the hidden command ("leakage").
+Raising drive power to extend range raises the leakage quadratically —
+eventually bystanders at the attacker's end hear the command. Breaking
+this deadlock is the reproduced paper's core idea.
+
+The model:
+
+1. the drive waveform (digital, [-1, 1]) is scaled by the drive level,
+2. the driver nonlinearity (polynomial on normalised drive) applies,
+3. the mechanical frequency response shapes the result: unity in the
+   passband, a finite stop-band floor elsewhere (a real diaphragm still
+   radiates demodulated baseband, just attenuated),
+4. the result is scaled to pascals referenced to 1 m on axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.acoustics.spl import spl_to_pressure
+from repro.dsp.signals import Signal, Unit
+from repro.hardware.nonlinearity import PolynomialNonlinearity
+from repro.errors import HardwareModelError, SignalDomainError
+
+
+@dataclass(frozen=True)
+class SpeakerConfig:
+    """Parameters of an ultrasonic transmitter.
+
+    Parameters
+    ----------
+    passband_hz:
+        ``(low, high)`` of the mechanical passband. Piezo elements
+        resonate around 25-40 kHz with usable output to ~60 kHz; a
+        wideband horn tweeter reaches down into the audible band.
+    max_spl_at_1m:
+        On-axis SPL (dB, sine RMS) at 1 m at full drive.
+    max_electrical_power_w:
+        Electrical input power corresponding to full drive; used to
+        express drive levels in watts for the power-sweep experiments.
+    nonlinearity:
+        Driver polynomial on the normalised drive signal.
+    out_of_band_rejection_db:
+        Attenuation step right at the band edges. Finite: the audible
+        leakage escapes through this floor.
+    rolloff_db_per_octave:
+        Additional attenuation per octave of distance below the lower
+        (or above the upper) band edge. Physically this captures the
+        collapse of radiation efficiency of a small resonant element
+        away from resonance — the reason a piezo disc cannot
+        meaningfully radiate 50 Hz no matter what its driver does, and
+        hence the reason *narrow* spectral chunks (whose nonlinear
+        residue lands at tens of hertz) leak so much less than wide
+        ones.
+    name:
+        Preset label for reports.
+    """
+
+    passband_hz: tuple[float, float] = (23000.0, 60000.0)
+    max_spl_at_1m: float = 105.0
+    max_electrical_power_w: float = 2.0
+    nonlinearity: PolynomialNonlinearity = field(
+        default_factory=lambda: PolynomialNonlinearity((1.0, 0.03))
+    )
+    out_of_band_rejection_db: float = 15.0
+    rolloff_db_per_octave: float = 9.0
+    name: str = "piezo-element"
+
+    def __post_init__(self) -> None:
+        low, high = self.passband_hz
+        if low <= 0 or high <= low:
+            raise HardwareModelError(
+                f"invalid passband {self.passband_hz}; need 0 < low < high"
+            )
+        if self.max_spl_at_1m <= 0 or self.max_spl_at_1m > 160:
+            raise HardwareModelError(
+                f"max_spl_at_1m {self.max_spl_at_1m} dB outside (0, 160]"
+            )
+        if self.max_electrical_power_w <= 0:
+            raise HardwareModelError(
+                "max_electrical_power_w must be positive, got "
+                f"{self.max_electrical_power_w}"
+            )
+        if self.out_of_band_rejection_db < 0:
+            raise HardwareModelError(
+                "out_of_band_rejection_db must be non-negative, got "
+                f"{self.out_of_band_rejection_db}"
+            )
+        if self.rolloff_db_per_octave < 0:
+            raise HardwareModelError(
+                "rolloff_db_per_octave must be non-negative, got "
+                f"{self.rolloff_db_per_octave}"
+            )
+
+
+@dataclass
+class UltrasonicSpeaker:
+    """A single ultrasonic transmitter; call :meth:`play`."""
+
+    config: SpeakerConfig
+
+    @property
+    def full_scale_pressure(self) -> float:
+        """Peak on-axis pressure at 1 m at full drive, pascals."""
+        return spl_to_pressure(self.config.max_spl_at_1m) * np.sqrt(2.0)
+
+    def drive_level_for_power(self, electrical_power_w: float) -> float:
+        """Drive level (0-1] producing the given electrical power.
+
+        Power scales with the square of drive amplitude, so
+        ``level = sqrt(P / P_max)``. Requesting more than the rated
+        power raises rather than silently clipping.
+        """
+        if electrical_power_w <= 0:
+            raise HardwareModelError(
+                f"power must be positive, got {electrical_power_w}"
+            )
+        if electrical_power_w > self.config.max_electrical_power_w * (1 + 1e-9):
+            raise HardwareModelError(
+                f"requested {electrical_power_w} W exceeds the rated "
+                f"{self.config.max_electrical_power_w} W"
+            )
+        return float(
+            np.sqrt(electrical_power_w / self.config.max_electrical_power_w)
+        )
+
+    def play(self, drive: Signal, drive_level: float = 1.0) -> Signal:
+        """Radiate a drive waveform; returns pressure at 1 m (pascals).
+
+        Parameters
+        ----------
+        drive:
+            Digital drive waveform; peak magnitude must not exceed 1
+            (normalise upstream — clipping inside the speaker model
+            would add uncontrolled distortion on top of the modelled
+            nonlinearity).
+        drive_level:
+            Fraction of full drive in (0, 1].
+        """
+        if drive.unit != Unit.DIGITAL:
+            raise SignalDomainError(
+                f"play expects a digital drive waveform, got unit "
+                f"{drive.unit!r}"
+            )
+        if not 0 < drive_level <= 1:
+            raise HardwareModelError(
+                f"drive_level must be in (0, 1], got {drive_level}"
+            )
+        if drive.peak() > 1.0 + 1e-9:
+            raise HardwareModelError(
+                f"drive waveform peaks at {drive.peak():.3f} > 1.0; "
+                "normalise before playing"
+            )
+        x = drive.samples * drive_level
+        shaped = self.config.nonlinearity.apply_array(x)
+        shaped_signal = Signal(shaped, drive.sample_rate, Unit.DIGITAL)
+        radiated = self._apply_response(shaped_signal)
+        pressure = radiated.samples * self.full_scale_pressure
+        return Signal(pressure, drive.sample_rate, Unit.PASCAL)
+
+    def play_with_power(
+        self, drive: Signal, electrical_power_w: float
+    ) -> Signal:
+        """Radiate at a drive level expressed as electrical watts."""
+        return self.play(
+            drive, self.drive_level_for_power(electrical_power_w)
+        )
+
+    def _apply_response(self, signal: Signal) -> Signal:
+        """Passband-unity response with rolloff skirts.
+
+        Applied as a zero-phase FFT-domain gain: unity inside the
+        passband; outside, the band-edge rejection step plus
+        ``rolloff_db_per_octave`` per octave of separation from the
+        edge. The DC bin is silenced (a loudspeaker radiates no static
+        pressure).
+        """
+        low, high = self.config.passband_hz
+        high = min(high, signal.nyquist * 0.99)
+        if high <= low:
+            raise HardwareModelError(
+                f"speaker passband {self.config.passband_hz} does not "
+                f"fit under Nyquist {signal.nyquist} Hz; raise the "
+                "simulation rate"
+            )
+        freqs = np.fft.rfftfreq(signal.n_samples, d=1.0 / signal.sample_rate)
+        attenuation_db = np.zeros_like(freqs)
+        base = self.config.out_of_band_rejection_db
+        slope = self.config.rolloff_db_per_octave
+        below = (freqs > 0) & (freqs < low)
+        attenuation_db[below] = base + slope * np.log2(low / freqs[below])
+        above = freqs > high
+        attenuation_db[above] = base + slope * np.log2(freqs[above] / high)
+        gains = 10.0 ** (-attenuation_db / 20.0)
+        gains[freqs == 0] = 0.0
+        spectrum = np.fft.rfft(signal.samples)
+        shaped = np.fft.irfft(spectrum * gains, n=signal.n_samples)
+        return signal.replace(samples=shaped)
+
+    def linear_only(self) -> "UltrasonicSpeaker":
+        """A copy of this speaker with the nonlinearity removed.
+
+        Used by ablations to isolate how much of the audible leakage is
+        the driver's fault versus the signal's own audible content.
+        """
+        config = SpeakerConfig(
+            passband_hz=self.config.passband_hz,
+            max_spl_at_1m=self.config.max_spl_at_1m,
+            max_electrical_power_w=self.config.max_electrical_power_w,
+            nonlinearity=PolynomialNonlinearity.linear(
+                self.config.nonlinearity.a1
+            ),
+            out_of_band_rejection_db=self.config.out_of_band_rejection_db,
+            rolloff_db_per_octave=self.config.rolloff_db_per_octave,
+            name=self.config.name + "-linearised",
+        )
+        return UltrasonicSpeaker(config)

@@ -1,0 +1,39 @@
+"""Human audibility models.
+
+Whether a human bystander can hear a signal is the defining constraint
+of the reproduced attack: the adversary must stay below the threshold
+of hearing in the audible band while delivering enough ultrasonic power
+for nonlinear demodulation at the victim. This package provides:
+
+``threshold``
+    Terhardt's analytic approximation of the absolute threshold of
+    hearing in quiet.
+``weighting``
+    IEC A-weighting, used for reporting leakage loudness.
+``audibility``
+    Band-wise audibility analysis of arbitrary pressure waveforms and
+    the scalar "audibility margin" used throughout the attack
+    optimiser.
+"""
+
+from repro.psychoacoustics.threshold import (
+    hearing_threshold_spl,
+    threshold_curve,
+)
+from repro.psychoacoustics.weighting import a_weighting_db
+from repro.psychoacoustics.audibility import (
+    AudibilityReport,
+    audibility_margin_db,
+    audible,
+    evaluate_audibility,
+)
+
+__all__ = [
+    "hearing_threshold_spl",
+    "threshold_curve",
+    "a_weighting_db",
+    "AudibilityReport",
+    "evaluate_audibility",
+    "audibility_margin_db",
+    "audible",
+]

@@ -1,0 +1,152 @@
+"""Band-wise audibility analysis of pressure waveforms.
+
+The analysis splits the audible range into third-octave bands, converts
+each band's power to SPL and compares it against the hearing threshold
+at the band centre. The *audibility margin* is the largest excess over
+threshold across bands: positive means a human in quiet conditions
+would hear the signal; every dB negative is safety margin for the
+attacker. This scalar is the objective the attack optimiser constrains
+and the quantity Figures F2/F5 sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.acoustics.spl import REFERENCE_PRESSURE
+from repro.dsp.signals import Signal, Unit
+from repro.dsp.spectrum import welch_psd
+from repro.psychoacoustics.threshold import (
+    AUDIBLE_HIGH_HZ,
+    AUDIBLE_LOW_HZ,
+    hearing_threshold_spl,
+)
+from repro.psychoacoustics.weighting import a_weighted_spl
+from repro.errors import SignalDomainError
+
+
+def third_octave_bands(
+    low_hz: float = AUDIBLE_LOW_HZ, high_hz: float = AUDIBLE_HIGH_HZ
+) -> list[tuple[float, float, float]]:
+    """Third-octave ``(low, center, high)`` edges covering a range.
+
+    Bands follow the base-2 preferred series anchored at 1 kHz.
+    """
+    if low_hz <= 0 or high_hz <= low_hz:
+        raise SignalDomainError(
+            f"invalid band range [{low_hz}, {high_hz}]"
+        )
+    bands = []
+    # Generate centres 2^(k/3) kHz for k covering the requested range.
+    k = int(np.floor(3 * np.log2(low_hz / 1000.0))) - 1
+    while True:
+        center = 1000.0 * 2.0 ** (k / 3.0)
+        low_edge = center / 2.0 ** (1.0 / 6.0)
+        high_edge = center * 2.0 ** (1.0 / 6.0)
+        if low_edge > high_hz:
+            break
+        if high_edge >= low_hz:
+            bands.append((low_edge, center, high_edge))
+        k += 1
+    return bands
+
+
+@dataclass(frozen=True)
+class AudibilityReport:
+    """Result of a band-wise audibility analysis.
+
+    Attributes
+    ----------
+    band_centers_hz:
+        Third-octave band centre frequencies.
+    band_spls:
+        SPL of the analysed signal in each band.
+    band_thresholds:
+        Hearing threshold in quiet at each band centre.
+    margin_db:
+        ``max(band_spls - band_thresholds)``; positive = audible.
+    a_weighted_level_dba:
+        Overall A-weighted level of the audible-band content.
+    """
+
+    band_centers_hz: np.ndarray
+    band_spls: np.ndarray
+    band_thresholds: np.ndarray
+    margin_db: float
+    a_weighted_level_dba: float
+
+    @property
+    def is_audible(self) -> bool:
+        """True if any band exceeds the hearing threshold."""
+        return self.margin_db > 0.0
+
+    def worst_band_hz(self) -> float:
+        """Centre frequency of the band closest to (or most over)
+        threshold."""
+        excess = self.band_spls - self.band_thresholds
+        return float(self.band_centers_hz[int(np.argmax(excess))])
+
+
+def evaluate_audibility(
+    pressure: Signal,
+    low_hz: float = AUDIBLE_LOW_HZ,
+    high_hz: float = AUDIBLE_HIGH_HZ,
+) -> AudibilityReport:
+    """Analyse a pressure waveform's audibility to a nearby human.
+
+    Parameters
+    ----------
+    pressure:
+        Sound-pressure waveform in pascals at the listening position.
+    low_hz, high_hz:
+        Analysis range; defaults to the nominal audible range.
+    """
+    if pressure.unit != Unit.PASCAL:
+        raise SignalDomainError(
+            "audibility analysis requires a pressure waveform in "
+            f"pascals, got unit {pressure.unit!r}"
+        )
+    # Long segments + Blackman: the lowest third-octave bands are a few
+    # hertz wide, so the estimate needs fine resolution and low
+    # spectral leakage to judge them fairly.
+    psd = welch_psd(
+        pressure,
+        segment_length=min(32768, pressure.n_samples),
+        window="blackman",
+    )
+    bands = third_octave_bands(low_hz, min(high_hz, pressure.nyquist * 0.999))
+    centers = []
+    spls = []
+    thresholds = []
+    for low_edge, center, high_edge in bands:
+        power = psd.band_power(low_edge, min(high_edge, pressure.nyquist))
+        spl = 10.0 * np.log10(
+            max(power, 1e-30) / REFERENCE_PRESSURE**2
+        )
+        centers.append(center)
+        spls.append(spl)
+        thresholds.append(hearing_threshold_spl(center))
+    centers_arr = np.asarray(centers)
+    spls_arr = np.asarray(spls)
+    thresholds_arr = np.asarray(thresholds)
+    margin = float(np.max(spls_arr - thresholds_arr))
+    dba = a_weighted_spl(spls_arr, centers_arr)
+    return AudibilityReport(
+        band_centers_hz=centers_arr,
+        band_spls=spls_arr,
+        band_thresholds=thresholds_arr,
+        margin_db=margin,
+        a_weighted_level_dba=dba,
+    )
+
+
+def audibility_margin_db(pressure: Signal) -> float:
+    """Shorthand for ``evaluate_audibility(pressure).margin_db``."""
+    return evaluate_audibility(pressure).margin_db
+
+
+def audible(pressure: Signal) -> bool:
+    """True if the waveform would be heard by a human in quiet."""
+    return audibility_margin_db(pressure) > 0.0

@@ -1,0 +1,56 @@
+"""Absolute threshold of hearing in quiet.
+
+Uses Terhardt's analytic approximation
+
+    T(f) = 3.64 (f/1k)^-0.8 - 6.5 exp(-0.6 ((f/1k) - 3.3)^2)
+           + 1e-3 (f/1k)^4      [dB SPL]
+
+which matches the ISO 226 quiet threshold well between 20 Hz and
+~18 kHz and rises steeply towards 20 kHz — the physiological cliff
+that the whole inaudible-attack genre exploits. Above 20 kHz the
+threshold is treated as effectively infinite (returned as
+:data:`ULTRASONIC_THRESHOLD_SPL`): normal adult hearing does not
+perceive ultrasound at the levels any speaker in this library can
+produce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SignalDomainError
+
+#: Nominal lower edge of human hearing, Hz.
+AUDIBLE_LOW_HZ = 20.0
+
+#: Nominal upper edge of human hearing, Hz.
+AUDIBLE_HIGH_HZ = 20000.0
+
+#: Threshold assigned above 20 kHz — high enough that no simulated
+#: source reaches it, finite so arithmetic stays well-behaved.
+ULTRASONIC_THRESHOLD_SPL = 200.0
+
+
+def hearing_threshold_spl(frequency_hz: float) -> float:
+    """Threshold of hearing in quiet at a single frequency, dB SPL."""
+    if frequency_hz <= 0:
+        raise SignalDomainError(
+            f"frequency must be positive, got {frequency_hz}"
+        )
+    if frequency_hz > AUDIBLE_HIGH_HZ:
+        return ULTRASONIC_THRESHOLD_SPL
+    f = max(frequency_hz, AUDIBLE_LOW_HZ) / 1000.0
+    threshold = (
+        3.64 * f**-0.8
+        - 6.5 * np.exp(-0.6 * (f - 3.3) ** 2)
+        + 1e-3 * f**4
+    )
+    return float(threshold)
+
+
+def threshold_curve(frequencies_hz: np.ndarray) -> np.ndarray:
+    """Vectorised threshold over an array of frequencies."""
+    freqs = np.asarray(frequencies_hz, dtype=np.float64)
+    if np.any(freqs <= 0):
+        raise SignalDomainError("all frequencies must be positive")
+    return np.array([hearing_threshold_spl(f) for f in freqs])

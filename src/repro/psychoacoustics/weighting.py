@@ -1,0 +1,54 @@
+"""IEC 61672 A-weighting.
+
+A-weighted levels approximate perceived loudness for moderate-level
+sounds and are the unit in which the paper-family reports leakage
+loudness ("the attacker's rig must stay quieter than X dBA").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SignalDomainError
+
+
+def a_weighting_db(frequency_hz: float) -> float:
+    """A-weighting gain at a frequency, dB (0 dB at 1 kHz).
+
+    Implements the analytic R_A(f) expression of IEC 61672-1 with the
+    +2.0 dB normalisation constant.
+    """
+    if frequency_hz <= 0:
+        raise SignalDomainError(
+            f"frequency must be positive, got {frequency_hz}"
+        )
+    f2 = frequency_hz**2
+    ra = (12194.0**2 * f2**2) / (
+        (f2 + 20.6**2)
+        * np.sqrt((f2 + 107.7**2) * (f2 + 737.9**2))
+        * (f2 + 12194.0**2)
+    )
+    return float(20.0 * np.log10(ra) + 2.0)
+
+
+def a_weighting_curve(frequencies_hz: np.ndarray) -> np.ndarray:
+    """Vectorised A-weighting over an array of frequencies."""
+    return np.array([a_weighting_db(f) for f in np.asarray(frequencies_hz)])
+
+
+def a_weighted_spl(band_spls: np.ndarray, band_centers_hz: np.ndarray) -> float:
+    """Combine per-band SPLs into a single A-weighted level, dBA.
+
+    Each band level is offset by the A-weighting at its centre
+    frequency, then the weighted powers are summed.
+    """
+    spls = np.asarray(band_spls, dtype=np.float64)
+    centers = np.asarray(band_centers_hz, dtype=np.float64)
+    if spls.shape != centers.shape:
+        raise SignalDomainError(
+            "band_spls and band_centers_hz must have identical shapes"
+        )
+    if spls.size == 0:
+        raise SignalDomainError("at least one band is required")
+    weighted = spls + a_weighting_curve(centers)
+    return float(10.0 * np.log10(np.sum(10.0 ** (weighted / 10.0))))

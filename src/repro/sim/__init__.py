@@ -1,0 +1,35 @@
+"""End-to-end experiment simulation.
+
+``scenario``
+    Declarative description of one physical setup (room, attacker,
+    victim device, command).
+``runner``
+    Executes a scenario: generate -> radiate -> propagate -> record ->
+    recognise, returning per-trial outcomes.
+``sweep``
+    Parameter sweeps (distance, power, speaker count) built on the
+    runner, with emission caching so sweeps stay tractable.
+``results``
+    Small result-table containers with aligned-text rendering used by
+    the benchmarks and EXPERIMENTS.md.
+"""
+
+from repro.sim.scenario import Scenario, VictimDevice
+from repro.sim.runner import ScenarioRunner, TrialOutcome
+from repro.sim.sweep import (
+    accuracy_over_distances,
+    attack_range_m,
+    success_rate,
+)
+from repro.sim.results import ResultTable
+
+__all__ = [
+    "Scenario",
+    "VictimDevice",
+    "ScenarioRunner",
+    "TrialOutcome",
+    "success_rate",
+    "accuracy_over_distances",
+    "attack_range_m",
+    "ResultTable",
+]

@@ -1,0 +1,80 @@
+"""Result tables: tiny containers with aligned-text rendering.
+
+Benchmarks print these so the console output mirrors the paper's
+tables; EXPERIMENTS.md embeds the rendered text directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentError
+
+
+@dataclass
+class ResultTable:
+    """A small column-oriented table.
+
+    Attributes
+    ----------
+    title:
+        Table caption (e.g. ``"T1: attack range vs input power"``).
+    columns:
+        Column headers.
+    rows:
+        Row value lists; each must match the header length.
+    """
+
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        """Append a row, validating its width."""
+        if len(values) != len(self.columns):
+            raise ExperimentError(
+                f"row has {len(values)} values but the table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> list:
+        """Extract a column by header name."""
+        try:
+            index = self.columns.index(name)
+        except ValueError:
+            raise ExperimentError(
+                f"no column {name!r}; available: {self.columns}"
+            ) from None
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        """Aligned plain-text rendering."""
+        def fmt(value) -> str:
+            if isinstance(value, float):
+                return f"{value:.3g}"
+            return str(value)
+
+        cells = [self.columns] + [
+            [fmt(v) for v in row] for row in self.rows
+        ]
+        widths = [
+            max(len(row[i]) for row in cells)
+            for i in range(len(self.columns))
+        ]
+        lines = [self.title]
+        header = "  ".join(
+            cell.ljust(width) for cell, width in zip(cells[0], widths)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells[1:]:
+            lines.append(
+                "  ".join(
+                    cell.ljust(width) for cell, width in zip(row, widths)
+                )
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

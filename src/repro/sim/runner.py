@@ -1,0 +1,112 @@
+"""Scenario execution: the full attack chain, once per trial.
+
+The runner separates *emission* (expensive, deterministic per command
+and attacker) from *trials* (cheap, stochastic): the attacker's
+radiated waveforms are computed once and reused while ambient noise and
+microphone self-noise are redrawn per trial — matching how the paper
+repeats a fixed attack signal 50 times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.acoustics.channel import AcousticChannel, PlacedSource
+from repro.dsp.signals import Signal
+from repro.sim.scenario import Scenario, VictimDevice
+from repro.speech.commands import synthesize_command
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """Result of one attack trial.
+
+    Attributes
+    ----------
+    success:
+        The device recognised the *intended* command.
+    recognized_command:
+        What the device actually heard (best match).
+    accepted:
+        Whether the recogniser accepted any command at all.
+    distance:
+        DTW distance of the best match.
+    recording:
+        The device-rate recording (kept for defense experiments).
+    """
+
+    success: bool
+    recognized_command: str
+    accepted: bool
+    distance: float
+    recording: Signal
+
+
+class ScenarioRunner:
+    """Runs trials of a scenario against a victim device.
+
+    Parameters
+    ----------
+    scenario:
+        The physical setup.
+    device:
+        The victim; its recogniser must have the scenario's command
+        enrolled, otherwise success is impossible by construction and
+        the runner refuses to proceed.
+    """
+
+    def __init__(self, scenario: Scenario, device: VictimDevice) -> None:
+        if scenario.command not in device.recognizer.commands:
+            raise ExperimentError(
+                f"device {device.name!r} has no template for command "
+                f"{scenario.command!r}; enrolled: "
+                f"{device.recognizer.commands}"
+            )
+        self.scenario = scenario
+        self.device = device
+        self._channel = AcousticChannel(
+            room=scenario.room,
+            ambient_noise_spl=scenario.ambient_noise_spl,
+        )
+
+    def synthesize_voice(self, rng: np.random.Generator) -> Signal:
+        """The target command waveform the attacker starts from."""
+        return synthesize_command(self.scenario.command, rng)
+
+    def run_trial(
+        self,
+        sources: list[PlacedSource],
+        rng: np.random.Generator,
+    ) -> TrialOutcome:
+        """One trial: propagate given emissions, record, recognise."""
+        if not sources:
+            raise ExperimentError("run_trial needs at least one source")
+        arrived = self._channel.receive(
+            sources, self.scenario.victim_position, rng
+        )
+        recording = self.device.microphone.record(arrived, rng)
+        result = self.device.recognizer.recognize(recording)
+        return TrialOutcome(
+            success=result.accepted
+            and result.command == self.scenario.command,
+            recognized_command=result.command,
+            accepted=result.accepted,
+            distance=result.distance,
+            recording=recording,
+        )
+
+    def run_trials(
+        self,
+        sources: list[PlacedSource],
+        n_trials: int,
+        rng: np.random.Generator,
+    ) -> list[TrialOutcome]:
+        """Repeat :meth:`run_trial` with fresh noise draws."""
+        if n_trials < 1:
+            raise ExperimentError(
+                f"n_trials must be >= 1, got {n_trials}"
+            )
+        return [self.run_trial(sources, rng) for _ in range(n_trials)]

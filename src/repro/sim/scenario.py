@@ -1,0 +1,134 @@
+"""Scenario descriptions: who attacks what, where.
+
+A :class:`Scenario` is pure data; the runner executes it. Victim
+devices bundle a microphone preset with a recogniser enrolled on the
+command corpus, mirroring "an Echo with Alexa" as one object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.acoustics.geometry import Position, Room
+from repro.hardware.devices import (
+    amazon_echo_microphone,
+    android_phone_microphone,
+)
+from repro.hardware.microphone import Microphone
+from repro.speech.commands import COMMAND_CORPUS, synthesize_command
+from repro.speech.recognizer import KeywordRecognizer
+from repro.errors import ExperimentError
+
+
+@dataclass
+class VictimDevice:
+    """A voice assistant: microphone + enrolled recogniser.
+
+    Build via :meth:`phone` / :meth:`echo` so every experiment shares
+    identical device definitions.
+    """
+
+    name: str
+    microphone: Microphone
+    recognizer: KeywordRecognizer
+
+    @staticmethod
+    def _enrolled_recognizer(
+        commands: tuple[str, ...], seed: int
+    ) -> KeywordRecognizer:
+        recognizer = KeywordRecognizer()
+        rng = np.random.default_rng(seed)
+        for command in commands:
+            wave = synthesize_command(command, rng)
+            recognizer.enroll_multi_condition(command, wave, rng)
+        return recognizer
+
+    @classmethod
+    def phone(
+        cls,
+        commands: tuple[str, ...] = ("ok_google", "alexa", "take_a_picture"),
+        seed: int = 1234,
+    ) -> "VictimDevice":
+        """An Android-phone-like device (exposed 48 kHz microphone)."""
+        return cls(
+            name="phone",
+            microphone=android_phone_microphone(),
+            recognizer=cls._enrolled_recognizer(commands, seed),
+        )
+
+    @classmethod
+    def echo(
+        cls,
+        commands: tuple[str, ...] = ("alexa", "add_milk", "play_music"),
+        seed: int = 1234,
+    ) -> "VictimDevice":
+        """An Amazon-Echo-like device (covered 16 kHz microphone)."""
+        return cls(
+            name="echo",
+            microphone=amazon_echo_microphone(),
+            recognizer=cls._enrolled_recognizer(commands, seed),
+        )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One physical experiment setup.
+
+    Attributes
+    ----------
+    command:
+        Corpus command name the attacker tries to inject.
+    attacker_position:
+        Attack rig location (array centroid).
+    victim_position:
+        Victim device location.
+    room:
+        Optional room (``None`` = free field); when set, positions must
+        lie inside it.
+    ambient_noise_spl:
+        Background noise level at the victim, dB SPL.
+    """
+
+    command: str
+    attacker_position: Position
+    victim_position: Position
+    room: Room | None = None
+    ambient_noise_spl: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.command not in COMMAND_CORPUS:
+            raise ExperimentError(
+                f"unknown command {self.command!r}; available: "
+                f"{sorted(COMMAND_CORPUS)}"
+            )
+        if self.room is not None:
+            self.room.require_inside(self.attacker_position, "attacker")
+            self.room.require_inside(self.victim_position, "victim")
+        if self.ambient_noise_spl < 0 or self.ambient_noise_spl > 90:
+            raise ExperimentError(
+                f"ambient noise {self.ambient_noise_spl} dB SPL outside "
+                "[0, 90]"
+            )
+
+    @property
+    def distance_m(self) -> float:
+        """Attacker-to-victim distance."""
+        return self.attacker_position.distance_to(self.victim_position)
+
+    def at_distance(self, distance_m: float) -> "Scenario":
+        """A copy with the victim moved to ``distance_m`` along +x."""
+        if distance_m <= 0:
+            raise ExperimentError(
+                f"distance must be positive, got {distance_m}"
+            )
+        return Scenario(
+            command=self.command,
+            attacker_position=self.attacker_position,
+            victim_position=self.attacker_position.translated(
+                distance_m, 0.0, 0.0
+            ),
+            room=self.room,
+            ambient_noise_spl=self.ambient_noise_spl,
+        )

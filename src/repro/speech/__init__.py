@@ -1,0 +1,56 @@
+"""Speech substrate: synthesis, features and recognition.
+
+The paper's evaluation needs real voice commands and a real recogniser
+whose accuracy degrades with distortion and noise. Neither a TTS
+engine nor a cloud ASR is available offline, so this package builds
+both from first principles:
+
+``phonemes``
+    A compact phoneme inventory with formant targets.
+``synthesis``
+    A source-filter formant synthesiser producing intelligible-shaped
+    command waveforms (glottal pulse train / noise excitation through
+    cascaded formant resonators).
+``commands``
+    The voice-command corpus used across the evaluation ("okay google,
+    take a picture", "alexa, add milk to my shopping list", ...).
+``features``
+    An MFCC front-end (mel filter bank + DCT) written on numpy.
+``vad``
+    Energy-based voice activity detection and silence trimming.
+``recognizer``
+    A DTW template keyword recogniser standing in for the victim's ASR:
+    it has a genuine accuracy-vs-SNR/distortion curve, which is the
+    property every experiment depends on.
+"""
+
+from repro.speech.phonemes import PHONEMES, Phoneme
+from repro.speech.synthesis import FormantSynthesizer, SynthesisProfile
+from repro.speech.commands import (
+    COMMAND_CORPUS,
+    VoiceCommand,
+    get_command,
+    synthesize_command,
+)
+from repro.speech.features import MfccConfig, MfccExtractor, mel_filterbank
+from repro.speech.vad import frame_energies, trim_silence, voice_activity
+from repro.speech.recognizer import KeywordRecognizer, RecognitionResult
+
+__all__ = [
+    "Phoneme",
+    "PHONEMES",
+    "FormantSynthesizer",
+    "SynthesisProfile",
+    "VoiceCommand",
+    "COMMAND_CORPUS",
+    "get_command",
+    "synthesize_command",
+    "MfccConfig",
+    "MfccExtractor",
+    "mel_filterbank",
+    "frame_energies",
+    "voice_activity",
+    "trim_silence",
+    "KeywordRecognizer",
+    "RecognitionResult",
+]

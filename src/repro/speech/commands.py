@@ -1,0 +1,147 @@
+"""The voice-command corpus.
+
+Commands are spelled as phoneme sequences for the formant synthesiser.
+The corpus covers the paper family's actual attack payloads (camera,
+airplane mode, shopping list) plus additional commands used for the
+defense's training/held-out splits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dsp.signals import Signal
+from repro.speech.synthesis import FormantSynthesizer, SynthesisProfile
+from repro.errors import SynthesisError
+
+
+@dataclass(frozen=True)
+class VoiceCommand:
+    """A named command with its phonetic spelling.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier used by experiments and the recogniser.
+    text:
+        Human-readable transcription.
+    phonemes:
+        Phoneme symbols in order (``SIL`` for pauses).
+    """
+
+    name: str
+    text: str
+    phonemes: tuple[str, ...] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.phonemes:
+            raise SynthesisError(
+                f"command {self.name!r} has an empty phoneme sequence"
+            )
+
+
+def _cmd(name: str, text: str, *phonemes: str) -> VoiceCommand:
+    return VoiceCommand(name=name, text=text, phonemes=tuple(phonemes))
+
+
+#: Every command available to experiments, keyed by name.
+COMMAND_CORPUS: dict[str, VoiceCommand] = {
+    command.name: command
+    for command in [
+        _cmd(
+            "ok_google",
+            "okay google",
+            "OW", "K", "EY", "SIL", "G", "UW", "G", "AH", "L",
+        ),
+        _cmd(
+            "alexa",
+            "alexa",
+            "AH", "L", "EH", "K", "S", "AH",
+        ),
+        _cmd(
+            "take_a_picture",
+            "take a picture",
+            "T", "EY", "K", "SIL", "AH", "SIL",
+            "P", "IH", "K", "CH", "ER",
+        ),
+        _cmd(
+            "airplane_mode",
+            "turn on airplane mode",
+            "T", "ER", "N", "SIL", "AA", "N", "SIL",
+            "EH", "R", "P", "L", "EY", "N", "SIL",
+            "M", "OW", "D",
+        ),
+        _cmd(
+            "add_milk",
+            "add milk to my shopping list",
+            "AE", "D", "SIL", "M", "IH", "L", "K", "SIL",
+            "T", "UW", "SIL", "M", "AY", "SIL",
+            "SH", "AA", "P", "IH", "NG", "SIL",
+            "L", "IH", "S", "T",
+        ),
+        _cmd(
+            "open_door",
+            "open the front door",
+            "OW", "P", "AH", "N", "SIL", "TH", "AH", "SIL",
+            "F", "R", "AH", "N", "T", "SIL", "D", "AO", "R",
+        ),
+        _cmd(
+            "what_time",
+            "what time is it",
+            "W", "AH", "T", "SIL", "T", "AY", "M", "SIL",
+            "IH", "Z", "SIL", "IH", "T",
+        ),
+        _cmd(
+            "call_mom",
+            "call mom",
+            "K", "AO", "L", "SIL", "M", "AA", "M",
+        ),
+        _cmd(
+            "play_music",
+            "play some music",
+            "P", "L", "EY", "SIL", "S", "AH", "M", "SIL",
+            "M", "Y", "UW", "Z", "IH", "K",
+        ),
+        _cmd(
+            "turn_off_lights",
+            "turn off the lights",
+            "T", "ER", "N", "SIL", "AO", "F", "SIL",
+            "TH", "AH", "SIL", "L", "AY", "T", "S",
+        ),
+    ]
+}
+
+
+def get_command(name: str) -> VoiceCommand:
+    """Look up a command by name with a helpful error message."""
+    try:
+        return COMMAND_CORPUS[name]
+    except KeyError:
+        raise SynthesisError(
+            f"unknown command {name!r}; available: {sorted(COMMAND_CORPUS)}"
+        ) from None
+
+
+def synthesize_command(
+    name: str,
+    rng: np.random.Generator,
+    profile: SynthesisProfile | None = None,
+) -> Signal:
+    """Synthesise a corpus command to a waveform.
+
+    Parameters
+    ----------
+    name:
+        Corpus command name (see :data:`COMMAND_CORPUS`).
+    rng:
+        Random generator for the synthesiser's noise sources.
+    profile:
+        Optional voice profile; defaults to the standard voice. Passing
+        different profiles yields distinct "speakers", which the defense
+        experiments use for train/test separation.
+    """
+    command = get_command(name)
+    synthesizer = FormantSynthesizer(profile)
+    return synthesizer.synthesize(list(command.phonemes), rng)

@@ -1,0 +1,194 @@
+"""Phoneme inventory with formant targets.
+
+A reduced ARPAbet-style inventory sufficient to spell every command in
+the evaluation corpus. Formant frequencies/bandwidths are standard
+adult-male averages from the acoustic-phonetics literature (Peterson &
+Barney vowel space; consonant loci approximated); they do not need to
+be perfect — the recogniser is trained and tested on the *same*
+synthesiser, so what matters is that different phonemes are acoustically
+distinct and occupy realistic spectral regions (speech energy
+concentrated below ~4 kHz, fricative energy up to 8 kHz).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SynthesisError
+
+
+class PhonemeKind:
+    """Excitation/articulation classes the synthesiser distinguishes."""
+
+    VOWEL = "vowel"
+    NASAL = "nasal"
+    LIQUID = "liquid"
+    GLIDE = "glide"
+    FRICATIVE = "fricative"
+    PLOSIVE = "plosive"
+    AFFRICATE = "affricate"
+    SILENCE = "silence"
+
+
+@dataclass(frozen=True)
+class Phoneme:
+    """One phoneme's acoustic recipe.
+
+    Attributes
+    ----------
+    symbol:
+        ARPAbet-style label.
+    kind:
+        One of :class:`PhonemeKind`.
+    formants_hz:
+        Up to three formant (resonance) centre frequencies.
+    bandwidths_hz:
+        Matching resonance bandwidths.
+    voiced:
+        Whether the glottal source runs during the phoneme.
+    duration_s:
+        Default duration when the command spelling does not override.
+    amplitude:
+        Relative segment level (vowels loudest, stops quietest).
+    """
+
+    symbol: str
+    kind: str
+    formants_hz: tuple[float, ...]
+    bandwidths_hz: tuple[float, ...]
+    voiced: bool
+    duration_s: float
+    amplitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if len(self.formants_hz) != len(self.bandwidths_hz):
+            raise SynthesisError(
+                f"phoneme {self.symbol!r}: formant and bandwidth counts "
+                "differ"
+            )
+        if any(f <= 0 for f in self.formants_hz):
+            raise SynthesisError(
+                f"phoneme {self.symbol!r}: formants must be positive"
+            )
+        if self.duration_s <= 0:
+            raise SynthesisError(
+                f"phoneme {self.symbol!r}: duration must be positive"
+            )
+
+
+def _vowel(symbol: str, f1: float, f2: float, f3: float,
+           duration: float = 0.14) -> Phoneme:
+    return Phoneme(
+        symbol=symbol,
+        kind=PhonemeKind.VOWEL,
+        formants_hz=(f1, f2, f3),
+        bandwidths_hz=(70.0, 100.0, 150.0),
+        voiced=True,
+        duration_s=duration,
+        amplitude=1.0,
+    )
+
+
+def _nasal(symbol: str, f1: float, f2: float, f3: float) -> Phoneme:
+    return Phoneme(
+        symbol=symbol,
+        kind=PhonemeKind.NASAL,
+        formants_hz=(f1, f2, f3),
+        bandwidths_hz=(100.0, 150.0, 200.0),
+        voiced=True,
+        duration_s=0.09,
+        amplitude=0.55,
+    )
+
+
+def _fricative(symbol: str, center: float, bandwidth: float,
+               voiced: bool, amplitude: float) -> Phoneme:
+    return Phoneme(
+        symbol=symbol,
+        kind=PhonemeKind.FRICATIVE,
+        formants_hz=(center,),
+        bandwidths_hz=(bandwidth,),
+        voiced=voiced,
+        duration_s=0.10,
+        amplitude=amplitude,
+    )
+
+
+def _plosive(symbol: str, burst_center: float, voiced: bool) -> Phoneme:
+    return Phoneme(
+        symbol=symbol,
+        kind=PhonemeKind.PLOSIVE,
+        formants_hz=(burst_center,),
+        bandwidths_hz=(1200.0,),
+        voiced=voiced,
+        duration_s=0.07,
+        amplitude=0.5,
+    )
+
+
+#: The complete inventory keyed by symbol.
+PHONEMES: dict[str, Phoneme] = {
+    # Vowels (Peterson & Barney male averages, rounded).
+    "IY": _vowel("IY", 270, 2290, 3010),   # beet
+    "IH": _vowel("IH", 390, 1990, 2550),   # bit
+    "EH": _vowel("EH", 530, 1840, 2480),   # bet
+    "AE": _vowel("AE", 660, 1720, 2410),   # bat
+    "AA": _vowel("AA", 730, 1090, 2440),   # father
+    "AO": _vowel("AO", 570, 840, 2410),    # bought
+    "UH": _vowel("UH", 440, 1020, 2240),   # book
+    "UW": _vowel("UW", 300, 870, 2240),    # boot
+    "AH": _vowel("AH", 640, 1190, 2390),   # but
+    "ER": _vowel("ER", 490, 1350, 1690),   # bird
+    "EY": _vowel("EY", 480, 2000, 2600),   # bait (monophthong approx.)
+    "AY": _vowel("AY", 660, 1400, 2500),   # bite (midpoint approx.)
+    "OW": _vowel("OW", 500, 1000, 2400),   # boat (midpoint approx.)
+    "AW": _vowel("AW", 650, 1100, 2450),   # bout (midpoint approx.)
+    # Nasals.
+    "M": _nasal("M", 280, 1100, 2100),
+    "N": _nasal("N", 280, 1600, 2600),
+    "NG": _nasal("NG", 280, 2000, 2800),
+    # Liquids and glides (voiced, vowel-like but shorter/quieter).
+    "L": Phoneme("L", PhonemeKind.LIQUID, (360, 1200, 2700),
+                 (80.0, 120.0, 180.0), True, 0.08, 0.7),
+    "R": Phoneme("R", PhonemeKind.LIQUID, (420, 1200, 1600),
+                 (80.0, 120.0, 180.0), True, 0.08, 0.7),
+    "W": Phoneme("W", PhonemeKind.GLIDE, (300, 700, 2200),
+                 (80.0, 120.0, 180.0), True, 0.07, 0.65),
+    "Y": Phoneme("Y", PhonemeKind.GLIDE, (280, 2200, 2900),
+                 (80.0, 120.0, 180.0), True, 0.07, 0.65),
+    # Fricatives: (centre of noise shaping, bandwidth).
+    "S": _fricative("S", 6000, 3000, False, 0.45),
+    "SH": _fricative("SH", 3500, 2500, False, 0.5),
+    "F": _fricative("F", 4500, 4000, False, 0.3),
+    "TH": _fricative("TH", 5000, 4000, False, 0.25),
+    "V": _fricative("V", 3500, 3500, True, 0.4),
+    "Z": _fricative("Z", 5500, 3000, True, 0.45),
+    "HH": _fricative("HH", 1500, 2000, False, 0.25),
+    # Plosives: (burst centre, voicing).
+    "P": _plosive("P", 1200, False),
+    "B": _plosive("B", 900, True),
+    "T": _plosive("T", 4000, False),
+    "D": _plosive("D", 3200, True),
+    "K": _plosive("K", 2200, False),
+    "G": _plosive("G", 1800, True),
+    # Affricates approximated as plosive-shaped noise with longer
+    # frication.
+    "CH": Phoneme("CH", PhonemeKind.AFFRICATE, (3200,), (2500.0,),
+                  False, 0.11, 0.5),
+    "JH": Phoneme("JH", PhonemeKind.AFFRICATE, (2800,), (2500.0,),
+                  True, 0.11, 0.5),
+    # Pause.
+    "SIL": Phoneme("SIL", PhonemeKind.SILENCE, (1.0,), (1.0,),
+                   False, 0.10, 0.0),
+}
+
+
+def get_phoneme(symbol: str) -> Phoneme:
+    """Look up a phoneme, raising a helpful error for unknown symbols."""
+    try:
+        return PHONEMES[symbol]
+    except KeyError:
+        raise SynthesisError(
+            f"unknown phoneme {symbol!r}; known symbols: "
+            f"{sorted(PHONEMES)}"
+        ) from None

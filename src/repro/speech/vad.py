@@ -1,0 +1,103 @@
+"""Energy-based voice activity detection.
+
+Used by the recogniser to trim leading/trailing silence before DTW
+(which otherwise wastes its warping budget on silence) and by the
+defense's dataset generator to align legitimate and attacked
+recordings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.signals import Signal
+from repro.errors import RecognitionError
+
+
+def frame_energies(
+    signal: Signal,
+    frame_length_s: float = 0.02,
+    hop_length_s: float = 0.01,
+) -> np.ndarray:
+    """Per-frame RMS energies.
+
+    Returns an array of length ``n_frames``; raises if the signal is
+    shorter than one frame.
+    """
+    rate = signal.sample_rate
+    frame_len = int(round(frame_length_s * rate))
+    hop = int(round(hop_length_s * rate))
+    if frame_len <= 0 or hop <= 0:
+        raise RecognitionError("frame and hop lengths must be positive")
+    if signal.n_samples < frame_len:
+        raise RecognitionError(
+            f"signal ({signal.n_samples} samples) shorter than one VAD "
+            f"frame ({frame_len})"
+        )
+    frames = np.lib.stride_tricks.sliding_window_view(
+        signal.samples, frame_len
+    )[::hop]
+    return np.sqrt(np.mean(np.square(frames), axis=1))
+
+
+def voice_activity(
+    signal: Signal,
+    frame_length_s: float = 0.02,
+    hop_length_s: float = 0.01,
+    threshold_fraction: float = 0.03,
+    hangover_frames: int = 8,
+) -> np.ndarray:
+    """Boolean activity mask per frame.
+
+    A frame is active when its RMS exceeds ``threshold_fraction`` of
+    the 95th-percentile frame RMS (adaptive to overall level, so the
+    same setting works for quiet demodulated recordings and loud clean
+    speech). The fraction is deliberately small: nonlinear
+    demodulation expands a recording's dynamic range, and a stricter
+    threshold would cut the softer phonemes out of attacked commands. A hangover extends activity to bridge brief intra-word
+    dips such as stop closures.
+    """
+    if not 0 < threshold_fraction < 1:
+        raise RecognitionError(
+            f"threshold_fraction must be in (0, 1), got {threshold_fraction}"
+        )
+    energies = frame_energies(signal, frame_length_s, hop_length_s)
+    reference = np.percentile(energies, 95)
+    if reference <= 0:
+        return np.zeros(energies.size, dtype=bool)
+    active = energies > threshold_fraction * reference
+    # Hangover smoothing: extend each active run by a few frames.
+    extended = active.copy()
+    for i in np.flatnonzero(active):
+        extended[i : i + hangover_frames + 1] = True
+    return extended
+
+
+def trim_silence(
+    signal: Signal,
+    frame_length_s: float = 0.02,
+    hop_length_s: float = 0.01,
+    threshold_fraction: float = 0.03,
+    padding_s: float = 0.05,
+) -> Signal:
+    """Cut leading and trailing silence, keeping a small pad.
+
+    Returns the signal unchanged if no activity is detected (an
+    all-silent recording stays intact rather than becoming empty, so
+    downstream feature extraction fails loudly on length rather than
+    mysteriously on an empty array).
+    """
+    mask = voice_activity(
+        signal, frame_length_s, hop_length_s, threshold_fraction
+    )
+    active_indices = np.flatnonzero(mask)
+    if active_indices.size == 0:
+        return signal.copy()
+    hop = int(round(hop_length_s * signal.sample_rate))
+    pad = int(round(padding_s * signal.sample_rate))
+    start = max(0, active_indices[0] * hop - pad)
+    frame_len = int(round(frame_length_s * signal.sample_rate))
+    end = min(
+        signal.n_samples, active_indices[-1] * hop + frame_len + pad
+    )
+    return signal.replace(samples=signal.samples[start:end])

@@ -1,0 +1,77 @@
+"""Unit tests for ISO 9613-1 atmospheric absorption."""
+
+import pytest
+
+from repro.acoustics.atmosphere import (
+    AtmosphericConditions,
+    absorption_coefficient_db_per_m,
+    absorption_over_path_db,
+)
+from repro.errors import SignalDomainError
+
+
+class TestReferenceValues:
+    """Spot checks against published ISO 9613-1 magnitudes
+    (20 °C, 50-70 % RH, sea level)."""
+
+    def test_1khz_order_of_magnitude(self):
+        alpha = absorption_coefficient_db_per_m(1000.0)
+        assert 0.003 < alpha < 0.008
+
+    def test_10khz_order_of_magnitude(self):
+        alpha = absorption_coefficient_db_per_m(10000.0)
+        assert 0.1 < alpha < 0.3
+
+    def test_40khz_ultrasound(self):
+        alpha = absorption_coefficient_db_per_m(40000.0)
+        assert 0.8 < alpha < 2.0
+
+    def test_monotonic_in_frequency(self):
+        alphas = [
+            absorption_coefficient_db_per_m(f)
+            for f in (250.0, 1000.0, 4000.0, 16000.0, 40000.0, 60000.0)
+        ]
+        assert all(a < b for a, b in zip(alphas, alphas[1:]))
+
+    def test_ultrasound_absorbs_far_more_than_speech(self):
+        speech = absorption_coefficient_db_per_m(1000.0)
+        ultra = absorption_coefficient_db_per_m(40000.0)
+        assert ultra / speech > 100
+
+
+class TestConditions:
+    def test_dry_air_absorbs_more_at_ultrasound(self):
+        humid = absorption_coefficient_db_per_m(
+            40000.0, AtmosphericConditions(relative_humidity=80.0)
+        )
+        dry = absorption_coefficient_db_per_m(
+            40000.0, AtmosphericConditions(relative_humidity=10.0)
+        )
+        assert dry != humid  # humidity matters at ultrasound
+
+    def test_invalid_humidity_rejected(self):
+        with pytest.raises(SignalDomainError):
+            AtmosphericConditions(relative_humidity=150.0)
+
+    def test_invalid_temperature_rejected(self):
+        with pytest.raises(SignalDomainError):
+            AtmosphericConditions(temperature_c=100.0)
+
+    def test_invalid_pressure_rejected(self):
+        with pytest.raises(SignalDomainError):
+            AtmosphericConditions(pressure_kpa=-1.0)
+
+
+class TestPath:
+    def test_path_scaling(self):
+        per_meter = absorption_coefficient_db_per_m(30000.0)
+        assert absorption_over_path_db(30000.0, 5.0) == pytest.approx(
+            5 * per_meter
+        )
+
+    def test_zero_path_is_zero(self):
+        assert absorption_over_path_db(30000.0, 0.0) == 0.0
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(SignalDomainError):
+            absorption_coefficient_db_per_m(-100.0)

@@ -1,0 +1,72 @@
+"""Unit tests for spatial primitives."""
+
+import math
+
+import pytest
+
+from repro.acoustics.geometry import Position, Room, distance
+from repro.errors import GeometryError
+
+
+class TestPosition:
+    def test_distance(self):
+        assert Position(0, 0, 0).distance_to(Position(3, 4, 0)) == 5.0
+
+    def test_distance_symmetric(self):
+        a, b = Position(1, 2, 3), Position(-4, 0, 9)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_translated(self):
+        p = Position(1, 1, 1).translated(1, -1, 0.5)
+        assert (p.x, p.y, p.z) == (2.0, 0.0, 1.5)
+
+    def test_mirrored(self):
+        p = Position(1, 2, 3).mirrored("x", 0.0)
+        assert (p.x, p.y, p.z) == (-1.0, 2.0, 3.0)
+        q = Position(1, 2, 3).mirrored("z", 2.5)
+        assert q.z == 2.0
+
+    def test_mirror_bad_axis_rejected(self):
+        with pytest.raises(GeometryError):
+            Position(0, 0, 0).mirrored("w", 1.0)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(GeometryError):
+            Position(math.inf, 0, 0)
+
+    def test_module_level_distance(self):
+        assert distance(Position(0, 0), Position(0, 2)) == 2.0
+
+
+class TestRoom:
+    def test_contains(self):
+        room = Room(6.0, 4.0, 2.5)
+        assert room.contains(Position(3, 2, 1))
+        assert not room.contains(Position(7, 2, 1))
+        assert room.contains(Position(0, 0, 0))  # boundary inclusive
+
+    def test_require_inside_raises_with_context(self):
+        room = Room(6.0, 4.0, 2.5)
+        with pytest.raises(GeometryError) as excinfo:
+            room.require_inside(Position(10, 0, 0), "victim")
+        assert "victim" in str(excinfo.value)
+
+    def test_reflection_amplitude(self):
+        room = Room(6.0, 4.0, 2.5, wall_absorption=0.75)
+        assert room.reflection_amplitude() == pytest.approx(0.5)
+
+    def test_meeting_room_dimensions(self):
+        room = Room.meeting_room()
+        assert (room.length_m, room.width_m, room.height_m) == (
+            6.5,
+            4.0,
+            2.5,
+        )
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(GeometryError):
+            Room(0.0, 4.0, 2.5)
+
+    def test_invalid_absorption_rejected(self):
+        with pytest.raises(GeometryError):
+            Room(6.0, 4.0, 2.5, wall_absorption=1.5)

@@ -1,0 +1,77 @@
+"""Unit tests for the image-source room model."""
+
+import pytest
+
+from repro.acoustics.geometry import Position, Room
+from repro.acoustics.propagation import PropagationModel
+from repro.acoustics.room import ImageSourceRoomModel
+from repro.dsp.signals import Unit, tone
+from repro.errors import GeometryError
+
+
+@pytest.fixture()
+def room_model():
+    return ImageSourceRoomModel(
+        room=Room.meeting_room(),
+        propagation=PropagationModel(include_delay=False),
+    )
+
+
+class TestPaths:
+    def test_direct_plus_six_reflections(self, room_model):
+        paths = room_model.paths(
+            Position(1, 2, 1), Position(4, 2, 1)
+        )
+        assert len(paths) == 7
+        assert paths[0].reflection_count == 0
+        assert all(p.reflection_count == 1 for p in paths[1:])
+
+    def test_direct_path_is_shortest(self, room_model):
+        paths = room_model.paths(Position(1, 2, 1), Position(4, 2, 1))
+        assert paths[0].distance_m == min(p.distance_m for p in paths)
+
+    def test_reflection_amplitudes_attenuated(self, room_model):
+        paths = room_model.paths(Position(1, 2, 1), Position(4, 2, 1))
+        assert paths[0].amplitude_factor == 1.0
+        assert all(p.amplitude_factor < 1.0 for p in paths[1:])
+
+    def test_coincident_positions_rejected(self, room_model):
+        with pytest.raises(GeometryError):
+            room_model.paths(Position(1, 2, 1), Position(1, 2, 1))
+
+    def test_outside_room_rejected(self, room_model):
+        with pytest.raises(GeometryError):
+            room_model.paths(Position(-1, 2, 1), Position(4, 2, 1))
+
+    def test_reflections_can_be_disabled(self):
+        model = ImageSourceRoomModel(
+            room=Room.meeting_room(), include_reflections=False
+        )
+        paths = model.paths(Position(1, 2, 1), Position(4, 2, 1))
+        assert len(paths) == 1
+
+
+class TestTransmit:
+    def test_reverberant_louder_than_free_field(self, room_model):
+        wave = tone(1000.0, 0.1, 48000.0, unit=Unit.PASCAL)
+        source, receiver = Position(1, 2, 1), Position(4, 2, 1)
+        reverberant = room_model.transmit(wave, source, receiver)
+        free = ImageSourceRoomModel(
+            room=room_model.room, include_reflections=False,
+            propagation=room_model.propagation,
+        ).transmit(wave, source, receiver)
+        # Summed reflections add energy on top of the direct path.
+        assert reverberant.energy() > free.energy()
+
+    def test_absorbing_room_closer_to_free_field(self):
+        wave = tone(1000.0, 0.1, 48000.0, unit=Unit.PASCAL)
+        source, receiver = Position(1, 2, 1), Position(4, 2, 1)
+
+        def energy(absorption):
+            model = ImageSourceRoomModel(
+                room=Room(6.5, 4.0, 2.5, wall_absorption=absorption),
+                propagation=PropagationModel(include_delay=False),
+            )
+            return model.transmit(wave, source, receiver).energy()
+
+        assert energy(0.9) < energy(0.1)

@@ -1,0 +1,71 @@
+"""Unit tests for SPL conversions."""
+
+import pytest
+
+from repro.acoustics.spl import (
+    REFERENCE_PRESSURE,
+    electrical_to_acoustic_power,
+    pressure_to_spl,
+    source_power_to_spl_at_1m,
+    spl_at_distance,
+    spl_to_pressure,
+)
+from repro.errors import SignalDomainError
+
+
+class TestPressureSpl:
+    def test_reference_pressure_is_zero_db(self):
+        assert pressure_to_spl(REFERENCE_PRESSURE) == pytest.approx(0.0)
+
+    def test_one_pascal_is_94_db(self):
+        assert pressure_to_spl(1.0) == pytest.approx(93.98, abs=0.01)
+
+    def test_round_trip(self):
+        assert pressure_to_spl(spl_to_pressure(73.2)) == pytest.approx(73.2)
+
+    def test_negative_pressure_rejected(self):
+        with pytest.raises(SignalDomainError):
+            pressure_to_spl(-1.0)
+
+
+class TestDistanceLaw:
+    def test_doubling_distance_costs_6db(self):
+        near = spl_at_distance(100.0, 1.0)
+        far = spl_at_distance(100.0, 2.0)
+        assert near - far == pytest.approx(6.02, abs=0.01)
+
+    def test_absorption_adds_linearly(self):
+        no_abs = spl_at_distance(100.0, 10.0, absorption_db_per_m=0.0)
+        with_abs = spl_at_distance(100.0, 10.0, absorption_db_per_m=1.0)
+        assert no_abs - with_abs == pytest.approx(10.0)
+
+    def test_at_one_meter_only_absorption(self):
+        assert spl_at_distance(100.0, 1.0) == pytest.approx(100.0, abs=0.1)
+
+    def test_zero_distance_rejected(self):
+        with pytest.raises(SignalDomainError):
+            spl_at_distance(100.0, 0.0)
+
+
+class TestSourcePower:
+    def test_one_watt_is_about_109_db(self):
+        # Classic engineering rule: 1 W omnidirectional ~ 109 dB @ 1 m.
+        assert source_power_to_spl_at_1m(1.0) == pytest.approx(109.0, abs=1.0)
+
+    def test_directivity_adds_on_axis(self):
+        omni = source_power_to_spl_at_1m(1.0)
+        directed = source_power_to_spl_at_1m(1.0, directivity_index_db=6.0)
+        assert directed - omni == pytest.approx(6.0)
+
+    def test_non_positive_power_rejected(self):
+        with pytest.raises(SignalDomainError):
+            source_power_to_spl_at_1m(0.0)
+
+
+class TestEfficiency:
+    def test_acoustic_power_scales(self):
+        assert electrical_to_acoustic_power(10.0, 0.02) == pytest.approx(0.2)
+
+    def test_bad_efficiency_rejected(self):
+        with pytest.raises(SignalDomainError):
+            electrical_to_acoustic_power(10.0, 1.5)

@@ -1,0 +1,100 @@
+"""Unit tests for the attacker orchestration classes."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics.geometry import Position
+from repro.attack.array import grid_array
+from repro.attack.attacker import LongRangeAttacker, SingleSpeakerAttacker
+from repro.attack.baselines import AudiblePlaybackAttacker
+from repro.dsp.signals import Unit
+from repro.hardware.devices import horn_tweeter, ultrasonic_piezo_element
+from repro.psychoacoustics.audibility import evaluate_audibility
+from repro.errors import AttackConfigError
+
+ORIGIN = Position(0.0, 2.0, 1.0)
+
+
+class TestSingleSpeakerAttacker:
+    def test_emit_produces_one_source(self, alexa_voice):
+        attacker = SingleSpeakerAttacker(horn_tweeter(), ORIGIN)
+        emission = attacker.emit(alexa_voice, drive_level=0.5)
+        assert len(emission.sources) == 1
+        assert emission.sources[0].pressure_at_1m.unit == Unit.PASCAL
+        assert emission.drive_level == 0.5
+
+    def test_emit_inaudibly_caps_drive(self, alexa_voice):
+        attacker = SingleSpeakerAttacker(horn_tweeter(), ORIGIN)
+        emission = attacker.emit_inaudibly(alexa_voice)
+        assert 0 < emission.drive_level < 0.5
+
+
+class TestLongRangeAttacker:
+    @pytest.fixture(scope="class")
+    def emission(self, alexa_voice):
+        array = grid_array(10, ORIGIN, ultrasonic_piezo_element)
+        return LongRangeAttacker(array).emit(alexa_voice)
+
+    def test_element_budget(self, alexa_voice):
+        array = grid_array(10, ORIGIN, ultrasonic_piezo_element)
+        attacker = LongRangeAttacker(array, carrier_fraction=0.4)
+        assert attacker.n_carrier == 4
+        assert attacker.splitter.n_chunks == 6
+
+    def test_all_sources_placed_and_pascal(self, emission):
+        for source in emission.sources:
+            assert source.pressure_at_1m.unit == Unit.PASCAL
+
+    def test_no_source_is_audible(self, emission):
+        # The defining property of the long-range attack: EVERY radiated
+        # waveform is individually inaudible at 1 m.
+        for source in emission.sources:
+            report = evaluate_audibility(source.pressure_at_1m)
+            assert report.margin_db < 3.0
+
+    def test_carrier_sources_are_tones(self, emission, alexa_voice):
+        array = grid_array(10, ORIGIN, ultrasonic_piezo_element)
+        attacker = LongRangeAttacker(array)
+        n_carrier = attacker.n_carrier
+        from repro.dsp.spectrum import welch_psd
+
+        for source in emission.sources[:n_carrier]:
+            psd = welch_psd(
+                source.pressure_at_1m, segment_length=16384
+            )
+            assert psd.peak_frequency() == pytest.approx(
+                40000.0, abs=100.0
+            )
+
+    def test_invalid_carrier_fraction_rejected(self):
+        array = grid_array(4, ORIGIN, ultrasonic_piezo_element)
+        with pytest.raises(AttackConfigError):
+            LongRangeAttacker(array, carrier_fraction=0.0)
+
+    def test_array_too_small_rejected(self):
+        array = grid_array(1, ORIGIN, ultrasonic_piezo_element)
+        with pytest.raises(AttackConfigError):
+            LongRangeAttacker(array, carrier_fraction=0.9)
+
+
+class TestAudiblePlayback:
+    def test_emission_level(self, alexa_voice):
+        playback = AudiblePlaybackAttacker(ORIGIN, speech_spl_at_1m=60.0)
+        emission = playback.emit(alexa_voice)
+        from repro.acoustics.spl import pressure_to_spl
+
+        spl = pressure_to_spl(
+            emission.sources[0].pressure_at_1m.rms()
+        )
+        assert spl == pytest.approx(60.0, abs=0.5)
+
+    def test_playback_is_audible(self, alexa_voice):
+        playback = AudiblePlaybackAttacker(ORIGIN, speech_spl_at_1m=60.0)
+        emission = playback.emit(alexa_voice)
+        assert evaluate_audibility(
+            emission.sources[0].pressure_at_1m
+        ).is_audible
+
+    def test_implausible_level_rejected(self):
+        with pytest.raises(AttackConfigError):
+            AudiblePlaybackAttacker(ORIGIN, speech_spl_at_1m=120.0)

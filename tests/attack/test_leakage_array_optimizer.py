@@ -1,0 +1,163 @@
+"""Unit tests for leakage analysis, arrays and drive allocation."""
+
+import pytest
+
+from repro.acoustics.geometry import Position
+from repro.attack.array import SpeakerArray, grid_array, linear_array
+from repro.attack.leakage import (
+    audible_leakage,
+    leakage_report,
+    max_inaudible_drive,
+)
+from repro.attack.optimizer import allocate_drive_levels
+from repro.attack.pipeline import AttackPipeline
+from repro.attack.splitter import SpectralSplitter
+from repro.hardware.devices import horn_tweeter, ultrasonic_piezo_element
+from repro.errors import AttackConfigError
+
+
+@pytest.fixture(scope="module")
+def am_drive(session_rng=None):
+    import numpy as np
+
+    from repro.speech.commands import synthesize_command
+
+    rng = np.random.default_rng(11)
+    voice = synthesize_command("alexa", rng)
+    return AttackPipeline().generate(voice)
+
+
+class TestLeakage:
+    def test_full_drive_tweeter_leaks_audibly(self, am_drive):
+        report = leakage_report(horn_tweeter(), am_drive, 1.0, 0.5)
+        assert report.is_audible
+        assert report.margin_db > 10.0
+
+    def test_leakage_waveform_is_audible_band_only(self, am_drive):
+        from repro.dsp.spectrum import welch_psd
+
+        leak = audible_leakage(horn_tweeter(), am_drive, 1.0, 0.5)
+        psd = welch_psd(leak, segment_length=16384)
+        assert psd.band_power(21000, 90000) < psd.band_power(100, 20000)
+
+    def test_leakage_decreases_with_distance(self, am_drive):
+        near = leakage_report(horn_tweeter(), am_drive, 1.0, 0.5)
+        far = leakage_report(horn_tweeter(), am_drive, 1.0, 4.0)
+        assert far.margin_db < near.margin_db
+
+    def test_max_inaudible_drive_is_inaudible(self, am_drive):
+        speaker = horn_tweeter()
+        level = max_inaudible_drive(speaker, am_drive, 0.5)
+        assert 0 < level < 1
+        report = leakage_report(speaker, am_drive, level, 0.5)
+        assert report.margin_db <= 1.0  # within tolerance of threshold
+
+    def test_quiet_waveform_unconstrained(self):
+        from repro.dsp.signals import tone
+
+        speaker = ultrasonic_piezo_element()
+        pure_carrier = tone(40000.0, 0.3, 192000.0)
+        assert max_inaudible_drive(speaker, pure_carrier, 0.5) == 1.0
+
+    def test_invalid_distance_rejected(self, am_drive):
+        with pytest.raises(AttackConfigError):
+            leakage_report(horn_tweeter(), am_drive, 1.0, 0.0)
+
+
+class TestArrays:
+    def test_linear_array_layout(self):
+        array = linear_array(
+            5, Position(0, 0, 1), ultrasonic_piezo_element,
+            spacing_m=0.1,
+        )
+        assert array.n_elements == 5
+        ys = [e.position.y for e in array.elements]
+        assert ys == sorted(ys)
+        assert max(ys) - min(ys) == pytest.approx(0.4)
+
+    def test_grid_array_compactness(self):
+        array = grid_array(61, Position(0, 0, 1), ultrasonic_piezo_element)
+        centroid = array.centroid()
+        max_distance = max(
+            e.position.distance_to(centroid) for e in array.elements
+        )
+        assert max_distance < 0.3  # a panel, not a fence
+
+    def test_centroid(self):
+        array = linear_array(3, Position(1, 2, 3), ultrasonic_piezo_element)
+        c = array.centroid()
+        assert (c.x, c.y, c.z) == (1.0, 2.0, 3.0)
+
+    def test_total_power(self):
+        array = grid_array(4, Position(0, 0, 0), ultrasonic_piezo_element)
+        assert array.total_rated_power_w() == pytest.approx(8.0)
+
+    def test_empty_array_rejected(self):
+        with pytest.raises(AttackConfigError):
+            SpeakerArray(elements=())
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(AttackConfigError):
+            linear_array(0, Position(0, 0, 0), ultrasonic_piezo_element)
+        with pytest.raises(AttackConfigError):
+            grid_array(0, Position(0, 0, 0), ultrasonic_piezo_element)
+
+
+class TestAllocator:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        import numpy as np
+
+        from repro.speech.commands import synthesize_command
+
+        voice = synthesize_command("alexa", np.random.default_rng(12))
+        return SpectralSplitter(n_chunks=4).split(voice)
+
+    @pytest.fixture(scope="class")
+    def array(self):
+        return grid_array(
+            5, Position(0, 0, 1), ultrasonic_piezo_element
+        )
+
+    def test_uniform_preserves_spectral_shape(self, plan, array):
+        allocation = allocate_drive_levels(plan, array, "uniform")
+        effective = [
+            level * chunk.gain_headroom
+            for level, chunk in zip(allocation.chunk_levels, plan.chunks)
+        ]
+        assert max(effective) == pytest.approx(min(effective), rel=1e-6)
+
+    def test_waterfill_delivers_at_least_uniform(self, plan, array):
+        uniform = allocate_drive_levels(plan, array, "uniform")
+        waterfill = allocate_drive_levels(plan, array, "waterfill")
+        for lo, hi in zip(uniform.chunk_levels, waterfill.chunk_levels):
+            assert hi >= lo - 1e-9
+
+    def test_waterfill_respects_boost_limit(self, plan, array):
+        uniform = allocate_drive_levels(plan, array, "uniform")
+        boosted = allocate_drive_levels(
+            plan, array, "waterfill", boost_limit=2.0
+        )
+        for b, u in zip(boosted.chunk_levels, uniform.chunk_levels):
+            assert b <= 2.0 * u + 1e-9
+
+    def test_levels_within_hardware_bounds(self, plan, array):
+        for strategy in ("uniform", "waterfill"):
+            allocation = allocate_drive_levels(plan, array, strategy)
+            assert all(0 <= lv <= 1 for lv in allocation.chunk_levels)
+            assert 0 < allocation.carrier_level <= 1
+
+    def test_too_small_array_rejected(self, plan):
+        tiny = grid_array(2, Position(0, 0, 1), ultrasonic_piezo_element)
+        with pytest.raises(AttackConfigError):
+            allocate_drive_levels(plan, tiny, "uniform")
+
+    def test_unknown_strategy_rejected(self, plan, array):
+        with pytest.raises(AttackConfigError):
+            allocate_drive_levels(plan, array, "maximal")
+
+    def test_bad_boost_limit_rejected(self, plan, array):
+        with pytest.raises(AttackConfigError):
+            allocate_drive_levels(
+                plan, array, "waterfill", boost_limit=0.5
+            )

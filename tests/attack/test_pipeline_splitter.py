@@ -1,0 +1,152 @@
+"""Unit tests for the attack pipeline and the spectral splitter."""
+
+import numpy as np
+import pytest
+
+from repro.attack.pipeline import AttackPipeline, AttackPipelineConfig
+from repro.attack.splitter import SpectralSplitter
+from repro.dsp.spectrum import band_power, welch_psd
+from repro.errors import AttackConfigError
+
+
+class TestPipelineConfig:
+    def test_defaults_are_inaudible(self):
+        config = AttackPipelineConfig()
+        assert config.carrier_hz - config.voice_cutoff_hz >= 20000.0
+
+    def test_audible_lower_sideband_rejected(self):
+        with pytest.raises(AttackConfigError):
+            AttackPipelineConfig(carrier_hz=24000.0, voice_cutoff_hz=8000.0)
+
+    def test_sideband_above_nyquist_rejected(self):
+        with pytest.raises(AttackConfigError):
+            AttackPipelineConfig(
+                carrier_hz=94000.0, voice_cutoff_hz=8000.0,
+                acoustic_rate=192000.0,
+            )
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(AttackConfigError):
+            AttackPipelineConfig(modulation_depth=2.0)
+
+
+class TestPipeline:
+    def test_output_normalised_at_acoustic_rate(self, ok_google_voice):
+        drive = AttackPipeline().generate(ok_google_voice)
+        assert drive.sample_rate == 192000.0
+        assert drive.peak() == pytest.approx(1.0, abs=0.02)
+
+    def test_output_entirely_ultrasonic(self, ok_google_voice):
+        drive = AttackPipeline().generate(ok_google_voice)
+        psd = welch_psd(drive, segment_length=16384)
+        audible = psd.band_power(20, 20000)
+        ultrasonic = psd.band_power(20000, 96000)
+        assert audible < ultrasonic * 1e-6
+
+    def test_spectrum_centered_on_carrier(self, ok_google_voice):
+        config = AttackPipelineConfig(carrier_hz=32000.0)
+        drive = AttackPipeline(config).generate(ok_google_voice)
+        assert welch_psd(
+            drive, segment_length=16384
+        ).peak_frequency() == pytest.approx(32000.0, abs=200.0)
+
+    def test_square_law_recovers_command(self, ok_google_voice):
+        from repro.dsp.measures import residual_snr_db
+        from repro.dsp.modulation import am_demodulate_square_law
+        from repro.dsp.resample import resample
+
+        pipeline = AttackPipeline()
+        drive = pipeline.generate(ok_google_voice)
+        recovered = am_demodulate_square_law(drive, cutoff_hz=8000.0)
+        reference = pipeline.prepare_baseband(ok_google_voice)
+        assert residual_snr_db(reference, recovered) > 6.0
+
+    def test_non_digital_input_rejected(self, ok_google_voice):
+        from repro.dsp.signals import Unit
+
+        pipeline = AttackPipeline()
+        with pytest.raises(AttackConfigError):
+            pipeline.generate(ok_google_voice.with_unit(Unit.PASCAL))
+
+
+class TestSplitter:
+    def test_chunk_count_and_bandwidth(self, ok_google_voice):
+        splitter = SpectralSplitter(n_chunks=8)
+        plan = splitter.split(ok_google_voice)
+        assert len(plan.chunks) == 8
+        assert plan.carrier is not None
+        assert plan.n_speakers == 9
+        expected_bw = 2 * 3000.0 / 8
+        assert plan.chunk_bandwidth_hz() == pytest.approx(expected_bw)
+
+    def test_chunks_are_band_limited(self, ok_google_voice):
+        splitter = SpectralSplitter(n_chunks=4)
+        plan = splitter.split(ok_google_voice)
+        for chunk in plan.chunks:
+            low, high = chunk.band_hz
+            psd = welch_psd(chunk.drive, segment_length=32768)
+            inside = psd.band_power(low, high)
+            outside = psd.total_power() - inside
+            assert inside > 10 * max(outside, 1e-30)
+
+    def test_reconstruction_is_exact(self, ok_google_voice):
+        # Splitting must be a pure spatial re-arrangement: within the
+        # split band, the sum of de-normalised chunks plus the carrier
+        # equals the single modulated waveform bin-for-bin. (Content
+        # outside [f_c - W, f_c + W] — filter skirts and fade
+        # transients — is deliberately not radiated by any chunk.)
+        splitter = SpectralSplitter(n_chunks=6)
+        plan = splitter.split(ok_google_voice)
+        rebuilt = splitter.reconstruct(plan)
+        from repro.dsp.modulation import dsb_sc_modulate
+
+        pipeline = splitter._pipeline
+        baseband = pipeline.prepare_baseband(ok_google_voice)
+        reference = dsb_sc_modulate(
+            baseband, splitter.config.carrier_hz,
+            bandwidth_hz=splitter.config.voice_cutoff_hz,
+        ).faded(splitter.config.fade_s) + plan.carrier
+        low = splitter.config.carrier_hz - splitter.config.voice_cutoff_hz
+        high = splitter.config.carrier_hz + splitter.config.voice_cutoff_hz
+        spec_rebuilt = np.fft.rfft(rebuilt.samples)
+        spec_reference = np.fft.rfft(reference.samples)
+        freqs = np.fft.rfftfreq(
+            rebuilt.n_samples, d=1.0 / rebuilt.sample_rate
+        )
+        in_band = (freqs >= low) & (freqs <= high)
+        error = np.max(
+            np.abs(spec_rebuilt[in_band] - spec_reference[in_band])
+        )
+        scale = np.max(np.abs(spec_reference[in_band]))
+        assert error < 1e-9 * scale
+
+    def test_narrow_chunk_self_product_stays_low_frequency(
+        self, ok_google_voice
+    ):
+        # The inaudibility mechanism: a chunk's square has baseband
+        # content only below its own bandwidth (plus ultrasound).
+        splitter = SpectralSplitter(n_chunks=30)
+        plan = splitter.split(ok_google_voice)
+        chunk = plan.chunks[len(plan.chunks) // 2]
+        squared = chunk.drive.replace(
+            samples=np.square(chunk.drive.samples)
+        )
+        bw = chunk.bandwidth_hz
+        near_dc = band_power(squared, 1.0, bw * 1.2)
+        audible_rest = band_power(squared, bw * 1.5, 18000.0)
+        assert near_dc > 30 * max(audible_rest, 1e-30)
+
+    def test_mixed_carrier_mode(self, ok_google_voice):
+        splitter = SpectralSplitter(n_chunks=4, separate_carrier=False)
+        plan = splitter.split(ok_google_voice)
+        assert plan.carrier is None
+        assert plan.n_speakers == 4
+        # Every chunk now contains carrier power.
+        for chunk in plan.chunks:
+            psd = welch_psd(chunk.drive, segment_length=32768)
+            carrier_power = psd.band_power(39950, 40050)
+            assert carrier_power > 0
+
+    def test_invalid_chunk_count_rejected(self):
+        with pytest.raises(AttackConfigError):
+            SpectralSplitter(n_chunks=0)

@@ -1,0 +1,157 @@
+"""Unit tests for the from-scratch classifiers and detection metrics."""
+
+import numpy as np
+import pytest
+
+from repro.defense.classifier import (
+    LinearSvm,
+    LogisticRegression,
+    StandardScaler,
+)
+from repro.defense.metrics import (
+    auc,
+    confusion_matrix,
+    roc_curve,
+)
+from repro.errors import DefenseError
+
+
+def _separable_data(n=100, gap=2.0, seed=0):
+    rng = np.random.default_rng(seed)
+    negatives = rng.normal(loc=-gap / 2, scale=0.5, size=(n, 3))
+    positives = rng.normal(loc=+gap / 2, scale=0.5, size=(n, 3))
+    x = np.vstack([negatives, positives])
+    y = np.array([0] * n + [1] * n)
+    return x, y
+
+
+class TestStandardScaler:
+    def test_transform_standardizes(self):
+        x, _ = _separable_data()
+        z = StandardScaler().fit_transform(x)
+        assert np.allclose(np.mean(z, axis=0), 0.0, atol=1e-9)
+        assert np.allclose(np.std(z, axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_handled(self):
+        x = np.column_stack([np.ones(10), np.arange(10.0)])
+        z = StandardScaler().fit_transform(x)
+        assert np.all(np.isfinite(z))
+
+    def test_use_before_fit_rejected(self):
+        with pytest.raises(DefenseError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_dimension_mismatch_rejected(self):
+        scaler = StandardScaler().fit(np.ones((4, 3)))
+        with pytest.raises(DefenseError):
+            scaler.transform(np.ones((4, 2)))
+
+
+class TestLogisticRegression:
+    def test_separable_data_high_accuracy(self):
+        x, y = _separable_data()
+        z = StandardScaler().fit_transform(x)
+        model = LogisticRegression().fit(z, y)
+        assert np.mean(model.predict(z) == y) > 0.97
+
+    def test_scores_are_probabilities(self):
+        x, y = _separable_data()
+        z = StandardScaler().fit_transform(x)
+        scores = LogisticRegression().fit(z, y).decision_scores(z)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(DefenseError):
+            LogisticRegression().predict(np.ones((1, 3)))
+
+    def test_single_class_training_rejected(self):
+        x = np.random.default_rng(0).normal(size=(10, 2))
+        with pytest.raises(DefenseError):
+            LogisticRegression().fit(x, np.zeros(10))
+
+    def test_non_binary_labels_rejected(self):
+        x = np.random.default_rng(0).normal(size=(4, 2))
+        with pytest.raises(DefenseError):
+            LogisticRegression().fit(x, np.array([0, 1, 2, 1]))
+
+    def test_deterministic(self):
+        x, y = _separable_data()
+        a = LogisticRegression().fit(x, y)
+        b = LogisticRegression().fit(x, y)
+        assert np.allclose(a.weights_, b.weights_)
+
+
+class TestLinearSvm:
+    def test_separable_data_high_accuracy(self):
+        x, y = _separable_data()
+        z = StandardScaler().fit_transform(x)
+        model = LinearSvm().fit(z, y)
+        assert np.mean(model.predict(z) == y) > 0.97
+
+    def test_deterministic_given_seed(self):
+        x, y = _separable_data()
+        a = LinearSvm(seed=3).fit(x, y)
+        b = LinearSvm(seed=3).fit(x, y)
+        assert np.allclose(a.weights_, b.weights_)
+
+    def test_invalid_hyperparameters_rejected(self):
+        with pytest.raises(DefenseError):
+            LinearSvm(regularization=0.0)
+
+
+class TestRoc:
+    def test_perfect_separation_auc_one(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert auc(labels, scores) == pytest.approx(1.0)
+
+    def test_random_scores_auc_half(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 2, 4000)
+        scores = rng.uniform(size=4000)
+        assert auc(labels, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_inverted_scores_auc_zero(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert auc(labels, scores) == pytest.approx(0.0)
+
+    def test_curve_endpoints(self):
+        labels = np.array([0, 1, 0, 1])
+        scores = np.array([0.2, 0.6, 0.4, 0.8])
+        roc = roc_curve(labels, scores)
+        assert roc.false_positive_rates[0] == 0.0
+        assert roc.true_positive_rates[-1] == 1.0
+
+    def test_tpr_at_fpr(self):
+        labels = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        scores = np.array(
+            [0.1, 0.2, 0.3, 0.9, 0.6, 0.7, 0.8, 0.95]
+        )
+        roc = roc_curve(labels, scores)
+        assert roc.tpr_at_fpr(0.0) == pytest.approx(0.25)
+        assert roc.tpr_at_fpr(0.3) == pytest.approx(1.0)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(DefenseError):
+            roc_curve(np.array([1, 1]), np.array([0.5, 0.6]))
+
+
+class TestConfusionMatrix:
+    def test_counts_and_rates(self):
+        labels = np.array([1, 1, 1, 0, 0, 0])
+        preds = np.array([1, 1, 0, 0, 0, 1])
+        cm = confusion_matrix(labels, preds)
+        assert cm.true_positives == 2
+        assert cm.false_negatives == 1
+        assert cm.false_positives == 1
+        assert cm.true_negatives == 2
+        assert cm.accuracy == pytest.approx(4 / 6)
+        assert cm.true_positive_rate == pytest.approx(2 / 3)
+        assert cm.false_positive_rate == pytest.approx(1 / 3)
+        assert cm.precision == pytest.approx(2 / 3)
+        assert 0 < cm.f1() < 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(DefenseError):
+            confusion_matrix(np.array([]), np.array([]))

@@ -1,0 +1,80 @@
+"""Tests for the guarded voice assistant — the deployed defense."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics.channel import AcousticChannel
+from repro.acoustics.geometry import Position
+from repro.attack.baselines import AudiblePlaybackAttacker
+from repro.defense.dataset import DatasetConfig, build_dataset
+from repro.defense.detector import InaudibleVoiceDetector
+from repro.defense.guard import GuardedVoiceAssistant
+from repro.hardware.devices import android_phone_microphone
+from repro.speech.commands import synthesize_command
+from repro.speech.recognizer import KeywordRecognizer
+from repro.errors import DefenseError
+
+ORIGIN = Position(0.0, 2.0, 1.0)
+
+
+@pytest.fixture(scope="module")
+def assistant(enrolled_recognizer):
+    config = DatasetConfig(
+        commands=("ok_google", "alexa"),
+        distances_m=(1.0, 2.0),
+        n_trials=3,
+        attacker_kind="single_full",
+        seed=91,
+    )
+    detector = InaudibleVoiceDetector().fit(build_dataset(config))
+    return GuardedVoiceAssistant(enrolled_recognizer, detector)
+
+
+@pytest.fixture(scope="module")
+def genuine_recording():
+    rng = np.random.default_rng(17)
+    voice = synthesize_command("alexa", rng)
+    playback = AudiblePlaybackAttacker(ORIGIN, speech_spl_at_1m=63.0)
+    channel = AcousticChannel(room=None, ambient_noise_spl=40.0)
+    arrived = channel.receive(
+        list(playback.emit(voice).sources), Position(1.5, 2.0, 1.0), rng
+    )
+    return android_phone_microphone().record(arrived, rng)
+
+
+class TestGuardedAssistant:
+    def test_executes_genuine_command(self, assistant, genuine_recording):
+        outcome = assistant.process(genuine_recording)
+        assert outcome.executed_command == "alexa"
+        assert not outcome.vetoed
+        assert outcome.detection is not None
+
+    def test_vetoes_injected_command(self, assistant, attack_recording):
+        # The recording that *fools the recogniser* (see the attack
+        # integration tests) is blocked by the guard.
+        outcome = assistant.process(attack_recording)
+        assert outcome.recognition.accepted
+        assert outcome.vetoed
+        assert outcome.executed_command is None
+
+    def test_attack_succeeds_metric(
+        self, assistant, attack_recording, genuine_recording
+    ):
+        assert not assistant.attack_succeeds(
+            attack_recording, "ok_google"
+        )
+        assert assistant.attack_succeeds(genuine_recording, "alexa")
+
+    def test_unrecognised_audio_skips_the_guard(self, assistant, rng):
+        from repro.dsp.signals import white_noise
+
+        noise = white_noise(0.8, 48000.0, rng, rms_level=0.05)
+        outcome = assistant.process(noise)
+        assert outcome.executed_command is None
+        assert outcome.detection is None
+        assert not outcome.vetoed
+
+    def test_empty_recognizer_rejected(self):
+        detector = InaudibleVoiceDetector()
+        with pytest.raises(DefenseError):
+            GuardedVoiceAssistant(KeywordRecognizer(), detector)

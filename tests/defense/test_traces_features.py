@@ -1,0 +1,113 @@
+"""Unit tests for trace analysis and the feature layer."""
+
+import numpy as np
+import pytest
+
+from repro.defense.features import (
+    FEATURE_NAMES,
+    feature_vector,
+    features_from_analysis,
+)
+from repro.defense.traces import analyze_traces, band_envelope
+from repro.dsp.signals import Signal, multi_tone, tone, white_noise
+from repro.errors import DefenseError
+
+
+class TestBandEnvelope:
+    def test_envelope_tracks_amplitude(self):
+        rate = 16000.0
+        carrier = tone(1000.0, 1.0, rate)
+        ramp = np.linspace(0.2, 1.0, carrier.n_samples)
+        shaped = carrier.replace(samples=carrier.samples * ramp)
+        envelope = band_envelope(shaped, 800.0, 1200.0)
+        assert envelope[-1] > 2 * envelope[0]
+
+    def test_too_short_signal_rejected(self):
+        with pytest.raises(DefenseError):
+            band_envelope(tone(100.0, 0.01, 16000.0), 50.0, 80.0)
+
+
+class TestAnalyzeTraces:
+    def test_synthetic_attack_signature(self, rng):
+        # Construct the defining signature by hand: a voice-band tone
+        # whose envelope also appears as a sub-50 Hz component.
+        rate = 16000.0
+        envelope_hz = 3.0
+        t = np.arange(int(rate)) / rate
+        envelope = 0.5 * (1 + np.sin(2 * np.pi * envelope_hz * t))
+        voice = np.sin(2 * np.pi * 800.0 * t) * envelope
+        trace = 0.2 * np.sin(2 * np.pi * 30.0 * t) * envelope
+        noise = rng.normal(0, 1e-4, t.size)
+        attacked = Signal(voice + trace + noise, rate)
+        clean = Signal(voice + noise, rate)
+        a_attacked = analyze_traces(attacked)
+        a_clean = analyze_traces(clean)
+        assert a_attacked.trace_power_db > a_clean.trace_power_db + 10
+        assert (
+            a_attacked.envelope_correlation
+            > a_clean.envelope_correlation
+        )
+
+    def test_noise_has_low_correlation(self, rng):
+        recording = white_noise(1.0, 16000.0, rng, rms_level=0.1)
+        analysis = analyze_traces(recording)
+        assert analysis.envelope_correlation < 0.5
+
+    def test_low_rate_rejected(self, rng):
+        with pytest.raises(DefenseError):
+            analyze_traces(white_noise(1.0, 4000.0, rng))
+
+    def test_real_attack_vs_genuine(self, attack_recording, rng):
+        from repro.acoustics.channel import AcousticChannel
+        from repro.acoustics.geometry import Position
+        from repro.attack.baselines import AudiblePlaybackAttacker
+        from repro.hardware.devices import android_phone_microphone
+        from repro.speech.commands import synthesize_command
+
+        voice = synthesize_command("ok_google", rng)
+        playback = AudiblePlaybackAttacker(
+            Position(0, 2, 1), speech_spl_at_1m=62.0
+        )
+        channel = AcousticChannel(room=None, ambient_noise_spl=40.0)
+        genuine = android_phone_microphone().record(
+            channel.receive(
+                list(playback.emit(voice).sources),
+                Position(2, 2, 1),
+                rng,
+            ),
+            rng,
+        )
+        trace_attack = analyze_traces(attack_recording)
+        trace_genuine = analyze_traces(genuine)
+        assert (
+            trace_attack.trace_power_db
+            > trace_genuine.trace_power_db + 6
+        )
+
+
+class TestFeatureVector:
+    def test_full_vector_order(self, rng):
+        recording = white_noise(1.0, 16000.0, rng, rms_level=0.1)
+        vector = feature_vector(recording)
+        assert vector.shape == (len(FEATURE_NAMES),)
+
+    def test_subset_selection(self, rng):
+        recording = white_noise(1.0, 16000.0, rng, rms_level=0.1)
+        full = feature_vector(recording)
+        subset = feature_vector(
+            recording, subset=("trace_to_voice_db", "voice_power_db")
+        )
+        assert subset[0] == full[1]
+        assert subset[1] == full[4]
+
+    def test_unknown_subset_rejected(self, rng):
+        recording = white_noise(1.0, 16000.0, rng, rms_level=0.1)
+        with pytest.raises(DefenseError):
+            feature_vector(recording, subset=("blah",))
+
+    def test_features_from_analysis_consistent(self, rng):
+        recording = white_noise(1.0, 16000.0, rng, rms_level=0.1)
+        analysis = analyze_traces(recording)
+        assert np.allclose(
+            features_from_analysis(analysis), feature_vector(recording)
+        )

@@ -1,0 +1,123 @@
+"""Unit tests for filter design and application."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.filters import (
+    FilterSpec,
+    band_pass,
+    band_stop,
+    fir_band_pass,
+    fir_low_pass,
+    fir_low_pass_taps,
+    high_pass,
+    low_pass,
+)
+from repro.dsp.signals import multi_tone, tone
+from repro.dsp.spectrum import band_power
+from repro.errors import FilterDesignError
+
+
+@pytest.fixture()
+def two_tone():
+    """100 Hz + 3 kHz test signal at 16 kHz."""
+    return multi_tone([(100.0, 1.0), (3000.0, 1.0)], 1.0, 16000.0)
+
+
+class TestIirFilters:
+    def test_low_pass_keeps_low_removes_high(self, two_tone):
+        out = low_pass(two_tone, 1000.0)
+        assert band_power(out, 80, 120) > 0.1
+        assert band_power(out, 2900, 3100) < 1e-6
+
+    def test_high_pass_keeps_high_removes_low(self, two_tone):
+        out = high_pass(two_tone, 1000.0)
+        assert band_power(out, 2900, 3100) > 0.1
+        assert band_power(out, 80, 120) < 1e-6
+
+    def test_band_pass_keeps_only_band(self):
+        s = multi_tone(
+            [(100.0, 1.0), (1000.0, 1.0), (5000.0, 1.0)], 1.0, 16000.0
+        )
+        out = band_pass(s, 500.0, 2000.0)
+        assert band_power(out, 900, 1100) > 0.1
+        assert band_power(out, 80, 120) < 1e-6
+        assert band_power(out, 4900, 5100) < 1e-6
+
+    def test_band_stop_notches_band(self, two_tone):
+        out = band_stop(two_tone, 2000.0, 4000.0)
+        assert band_power(out, 80, 120) > 0.1
+        assert band_power(out, 2900, 3100) < 1e-6
+
+    def test_zero_phase_no_delay(self):
+        s = tone(100.0, 0.5, 16000.0)
+        out = low_pass(s, 1000.0)
+        # Zero-phase filtering: peak positions unchanged.
+        lag = np.argmax(np.correlate(out.samples, s.samples, "full")) - (
+            s.n_samples - 1
+        )
+        assert abs(lag) <= 1
+
+    def test_cutoff_at_nyquist_raises(self, two_tone):
+        with pytest.raises(FilterDesignError):
+            low_pass(two_tone, 8000.0)
+
+    def test_cutoff_at_zero_raises(self, two_tone):
+        with pytest.raises(FilterDesignError):
+            high_pass(two_tone, 0.0)
+
+    def test_inverted_band_raises(self, two_tone):
+        with pytest.raises(FilterDesignError):
+            band_pass(two_tone, 2000.0, 500.0)
+
+    def test_too_short_signal_raises(self):
+        s = tone(100.0, 0.002, 16000.0)
+        with pytest.raises(FilterDesignError):
+            low_pass(s, 1000.0)
+
+
+class TestFilterSpec:
+    def test_spec_dispatch(self, two_tone):
+        spec = FilterSpec(kind="lowpass", high_hz=1000.0)
+        out = spec.apply(two_tone)
+        assert band_power(out, 2900, 3100) < 1e-6
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FilterDesignError):
+            FilterSpec(kind="sideways")
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(FilterDesignError):
+            FilterSpec(kind="lowpass", high_hz=100.0, order=0)
+
+
+class TestFirFilters:
+    def test_fir_low_pass_removes_high(self, two_tone):
+        out = fir_low_pass(two_tone, 1000.0, n_taps=255)
+        assert band_power(out, 2900, 3100) < 1e-4
+
+    def test_fir_band_pass(self):
+        s = multi_tone(
+            [(100.0, 1.0), (1000.0, 1.0), (5000.0, 1.0)], 1.0, 16000.0
+        )
+        out = fir_band_pass(s, 500.0, 2000.0, n_taps=255)
+        assert band_power(out, 900, 1100) > 0.1
+        assert band_power(out, 80, 120) < 1e-3
+
+    def test_fir_delay_compensated(self):
+        s = tone(200.0, 0.5, 16000.0)
+        out = fir_low_pass(s, 1000.0, n_taps=101)
+        assert out.n_samples == s.n_samples
+        lag = np.argmax(np.correlate(out.samples, s.samples, "full")) - (
+            s.n_samples - 1
+        )
+        assert abs(lag) <= 1
+
+    def test_even_taps_rejected(self):
+        with pytest.raises(FilterDesignError):
+            fir_low_pass_taps(1000.0, 16000.0, n_taps=100)
+
+    def test_preserves_unit_and_rate(self, two_tone):
+        out = low_pass(two_tone, 1000.0)
+        assert out.sample_rate == two_tone.sample_rate
+        assert out.unit == two_tone.unit

@@ -1,0 +1,134 @@
+"""Unit tests for scalar measures."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.measures import (
+    db_to_linear,
+    db_to_power_ratio,
+    linear_to_db,
+    max_cross_correlation,
+    normalized_correlation,
+    power_ratio_to_db,
+    residual_snr_db,
+    rms,
+    snr_db,
+    thd,
+)
+from repro.dsp.signals import Signal, multi_tone, tone, white_noise
+from repro.errors import SignalDomainError
+
+
+class TestDbConversions:
+    def test_amplitude_round_trip(self):
+        assert db_to_linear(linear_to_db(3.7)) == pytest.approx(3.7)
+
+    def test_power_round_trip(self):
+        assert db_to_power_ratio(
+            power_ratio_to_db(0.042)
+        ) == pytest.approx(0.042)
+
+    def test_factor_of_ten_amplitude_is_20db(self):
+        assert linear_to_db(10.0) == pytest.approx(20.0)
+
+    def test_factor_of_ten_power_is_10db(self):
+        assert power_ratio_to_db(10.0) == pytest.approx(10.0)
+
+    def test_zero_gets_floor_not_inf(self):
+        assert np.isfinite(linear_to_db(0.0))
+        assert np.isfinite(power_ratio_to_db(0.0))
+
+    def test_negative_ratio_rejected(self):
+        with pytest.raises(SignalDomainError):
+            linear_to_db(-1.0)
+        with pytest.raises(SignalDomainError):
+            power_ratio_to_db(-1.0)
+
+
+class TestRms:
+    def test_array_and_signal_agree(self):
+        values = [1.0, -1.0, 1.0, -1.0]
+        assert rms(np.array(values)) == pytest.approx(1.0)
+        assert rms(Signal(values, 10.0)) == pytest.approx(1.0)
+
+    def test_empty_is_zero(self):
+        assert rms(np.array([])) == 0.0
+
+
+class TestSnr:
+    def test_known_snr(self, rng):
+        signal = tone(100.0, 1.0, 8000.0)  # rms = 0.707
+        noise = white_noise(1.0, 8000.0, rng, rms_level=0.0707)
+        assert snr_db(signal, noise) == pytest.approx(20.0, abs=1.0)
+
+    def test_residual_snr_scale_invariant(self, rng):
+        reference = tone(100.0, 1.0, 8000.0)
+        noise = white_noise(1.0, 8000.0, rng, rms_level=0.01)
+        degraded = reference + noise
+        snr_unit = residual_snr_db(reference, degraded)
+        snr_scaled = residual_snr_db(reference, degraded * 0.001)
+        assert snr_unit == pytest.approx(snr_scaled, abs=1e-6)
+
+    def test_residual_snr_silent_reference_rejected(self):
+        silent = Signal([0.0] * 100, 8000.0)
+        other = Signal([1.0] * 100, 8000.0)
+        with pytest.raises(SignalDomainError):
+            residual_snr_db(silent, other)
+
+
+class TestThd:
+    def test_pure_tone_low_thd(self):
+        s = tone(1000.0, 1.0, 48000.0)
+        assert thd(s, 1000.0) < 0.01
+
+    def test_distorted_tone_higher_thd(self):
+        s = tone(1000.0, 1.0, 48000.0)
+        distorted = s.replace(
+            samples=s.samples + 0.1 * np.square(s.samples)
+        )
+        assert thd(distorted, 1000.0) > 0.03
+
+    def test_thd_detects_known_harmonic_ratio(self):
+        s = multi_tone([(1000.0, 1.0), (2000.0, 0.1)], 1.0, 48000.0)
+        assert thd(s, 1000.0) == pytest.approx(0.1, rel=0.2)
+
+    def test_missing_fundamental_rejected(self, rng):
+        s = white_noise(0.5, 48000.0, rng, rms_level=1e-15)
+        with pytest.raises(SignalDomainError):
+            thd(s, 1000.0)
+
+
+class TestCorrelation:
+    def test_identical_arrays_correlate_fully(self, rng):
+        x = rng.normal(size=256)
+        assert normalized_correlation(x, x) == pytest.approx(1.0)
+
+    def test_negated_arrays_anticorrelate(self, rng):
+        x = rng.normal(size=256)
+        assert normalized_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_independent_noise_near_zero(self, rng):
+        x = rng.normal(size=4096)
+        y = rng.normal(size=4096)
+        assert abs(normalized_correlation(x, y)) < 0.1
+
+    def test_constant_input_gives_zero(self):
+        assert normalized_correlation(
+            np.ones(16), np.arange(16.0)
+        ) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SignalDomainError):
+            normalized_correlation(np.ones(4), np.ones(5))
+
+    def test_max_cross_correlation_finds_lag(self, rng):
+        x = rng.normal(size=512)
+        y = np.roll(x, 3)
+        aligned = max_cross_correlation(x, y, max_lag=5)
+        unaligned = normalized_correlation(x, y)
+        assert aligned > 0.95
+        assert aligned > unaligned
+
+    def test_negative_lag_rejected(self):
+        with pytest.raises(SignalDomainError):
+            max_cross_correlation(np.ones(4), np.ones(4), max_lag=-1)

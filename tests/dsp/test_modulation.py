@@ -1,0 +1,117 @@
+"""Unit tests for AM modulation and demodulation."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.measures import residual_snr_db
+from repro.dsp.modulation import (
+    am_demodulate_envelope,
+    am_demodulate_square_law,
+    am_modulate,
+    coherent_demodulate,
+    dsb_sc_modulate,
+)
+from repro.dsp.signals import tone
+from repro.dsp.spectrum import band_power, welch_psd
+from repro.errors import ModulationError
+
+RATE = 192000.0
+
+
+@pytest.fixture()
+def message():
+    return tone(1000.0, 0.3, RATE)
+
+
+class TestAmModulate:
+    def test_spectrum_moves_to_sidebands(self, message):
+        out = am_modulate(message, 40000.0, bandwidth_hz=2000.0)
+        psd = welch_psd(out, segment_length=16384)
+        assert psd.band_power(38500, 39500) > 1e-4   # lower sideband
+        assert psd.band_power(40500, 41500) > 1e-4   # upper sideband
+        assert psd.band_power(39900, 40100) > 1e-2   # carrier
+        assert psd.band_power(500, 1500) < 1e-8      # no baseband left
+
+    def test_peak_is_carrier_plus_depth(self, message):
+        out = am_modulate(
+            message, 40000.0, modulation_depth=0.5, bandwidth_hz=2000.0
+        )
+        assert out.peak() == pytest.approx(1.5, rel=0.01)
+
+    def test_depth_out_of_range_rejected(self, message):
+        with pytest.raises(ModulationError):
+            am_modulate(message, 40000.0, modulation_depth=1.5)
+        with pytest.raises(ModulationError):
+            am_modulate(message, 40000.0, modulation_depth=0.0)
+
+    def test_sideband_above_nyquist_rejected(self, message):
+        with pytest.raises(ModulationError):
+            am_modulate(message, 95500.0, bandwidth_hz=2000.0)
+
+    def test_sideband_touching_dc_rejected(self, message):
+        with pytest.raises(ModulationError):
+            am_modulate(message, 1500.0, bandwidth_hz=2000.0)
+
+
+class TestDsbSc:
+    def test_carrier_suppressed(self, message):
+        out = dsb_sc_modulate(message, 40000.0, bandwidth_hz=2000.0)
+        psd = welch_psd(out, segment_length=32768)
+        carrier = psd.band_power(39950, 40050)
+        sideband = psd.band_power(40900, 41100)
+        assert carrier < sideband * 0.05
+
+    def test_invalid_amplitude_rejected(self, message):
+        with pytest.raises(ModulationError):
+            dsb_sc_modulate(message, 40000.0, amplitude=0.0)
+
+
+class TestDemodulation:
+    def test_envelope_detector_recovers_message(self, message):
+        modulated = am_modulate(
+            message, 40000.0, modulation_depth=0.8, bandwidth_hz=2000.0
+        )
+        recovered = am_demodulate_envelope(modulated, cutoff_hz=4000.0)
+        trimmed_ref = message.slice_time(0.05, 0.25)
+        trimmed_out = recovered.slice_time(0.05, 0.25)
+        assert residual_snr_db(trimmed_ref, trimmed_out) > 20.0
+
+    def test_square_law_recovers_message(self, message):
+        modulated = am_modulate(
+            message, 40000.0, modulation_depth=0.5, bandwidth_hz=2000.0
+        )
+        recovered = am_demodulate_square_law(modulated, cutoff_hz=4000.0)
+        trimmed_ref = message.slice_time(0.05, 0.25)
+        trimmed_out = recovered.slice_time(0.05, 0.25)
+        assert residual_snr_db(trimmed_ref, trimmed_out) > 15.0
+
+    def test_square_law_of_dsb_sc_does_not_recover(self, message):
+        # Without the carrier, the quadratic term yields m^2, not m:
+        # the recovered band holds the 2 kHz doubled tone, not 1 kHz.
+        modulated = dsb_sc_modulate(message, 40000.0, bandwidth_hz=2000.0)
+        recovered = am_demodulate_square_law(modulated, cutoff_hz=4000.0)
+        assert band_power(recovered, 1900, 2100) > 10 * band_power(
+            recovered, 900, 1100
+        )
+
+    def test_coherent_demodulation_of_dsb_sc(self, message):
+        modulated = dsb_sc_modulate(message, 40000.0, bandwidth_hz=2000.0)
+        recovered = coherent_demodulate(
+            modulated, 40000.0, cutoff_hz=4000.0
+        )
+        trimmed_ref = message.slice_time(0.05, 0.25)
+        trimmed_out = recovered.slice_time(0.05, 0.25)
+        assert residual_snr_db(trimmed_ref, trimmed_out) > 20.0
+
+    def test_coherent_demodulation_bad_carrier_rejected(self, message):
+        modulated = dsb_sc_modulate(message, 40000.0, bandwidth_hz=2000.0)
+        with pytest.raises(ModulationError):
+            coherent_demodulate(modulated, 0.0)
+
+    def test_intermodulation_two_tone_difference(self):
+        # The paper's core equation: squaring 25 kHz + 30 kHz produces
+        # the 5 kHz difference tone.
+        s = tone(25000.0, 0.2, RATE) + tone(30000.0, 0.2, RATE)
+        squared = s.replace(samples=np.square(s.samples))
+        psd = welch_psd(squared, segment_length=16384)
+        assert psd.band_power(4800, 5200) > 0.01

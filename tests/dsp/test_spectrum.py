@@ -1,0 +1,105 @@
+"""Unit tests for spectral estimation."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.signals import multi_tone, tone, white_noise
+from repro.dsp.spectrum import (
+    band_power,
+    band_rms,
+    dominant_frequency,
+    power_spectrum,
+    spectrogram,
+    welch_psd,
+)
+from repro.errors import SignalDomainError
+
+
+class TestWelchPsd:
+    def test_parseval_total_power(self, rng):
+        s = white_noise(2.0, 8000.0, rng, rms_level=1.0)
+        psd = welch_psd(s)
+        assert psd.total_power() == pytest.approx(1.0, rel=0.1)
+
+    def test_tone_power_in_band(self):
+        s = tone(1000.0, 2.0, 16000.0, amplitude=1.0)
+        psd = welch_psd(s)
+        # Mean-square of a unit sine is 0.5.
+        assert psd.band_power(900, 1100) == pytest.approx(0.5, rel=0.05)
+
+    def test_peak_frequency(self):
+        s = tone(440.0, 1.0, 8000.0)
+        assert welch_psd(s).peak_frequency() == pytest.approx(440.0, abs=4)
+
+    def test_white_noise_is_flat(self, rng):
+        s = white_noise(4.0, 8000.0, rng, rms_level=1.0)
+        psd = welch_psd(s)
+        low = psd.band_power(100, 1100)
+        high = psd.band_power(2100, 3100)
+        assert low == pytest.approx(high, rel=0.2)
+
+    def test_empty_signal_rejected(self):
+        from repro.dsp.signals import Signal
+
+        with pytest.raises(SignalDomainError):
+            welch_psd(Signal([], 8000.0))
+
+    def test_short_signal_still_estimates(self):
+        s = tone(100.0, 0.01, 8000.0)
+        psd = welch_psd(s, segment_length=4096)
+        assert psd.total_power() > 0
+
+    def test_invalid_overlap_rejected(self):
+        s = tone(100.0, 1.0, 8000.0)
+        with pytest.raises(SignalDomainError):
+            welch_psd(s, overlap=1.0)
+
+    def test_band_power_inverted_edges_rejected(self):
+        s = tone(100.0, 1.0, 8000.0)
+        with pytest.raises(SignalDomainError):
+            welch_psd(s).band_power(200.0, 100.0)
+
+
+class TestPowerSpectrum:
+    def test_resolves_close_tones(self):
+        s = multi_tone([(1000.0, 1.0), (1010.0, 1.0)], 2.0, 16000.0)
+        psd = power_spectrum(s)
+        assert psd.bin_width < 1.0
+        assert psd.band_power(995, 1005) > 0.1
+        assert psd.band_power(1005, 1015) > 0.1
+
+
+class TestSpectrogram:
+    def test_shapes_consistent(self):
+        s = tone(1000.0, 1.0, 16000.0)
+        spec = spectrogram(s, frame_length=512, overlap=0.5)
+        assert spec.power.shape == (
+            len(spec.frequencies),
+            len(spec.times),
+        )
+
+    def test_chirp_energy_moves(self):
+        from repro.dsp.signals import chirp
+
+        s = chirp(500.0, 4000.0, 1.0, 16000.0)
+        spec = spectrogram(s, frame_length=1024)
+        early = spec.band_trajectory(400, 1000)
+        late = spec.band_trajectory(3000, 4500)
+        n = len(spec.times)
+        assert np.mean(early[: n // 4]) > np.mean(early[-n // 4 :])
+        assert np.mean(late[-n // 4 :]) > np.mean(late[: n // 4])
+
+    def test_signal_shorter_than_frame_rejected(self):
+        s = tone(100.0, 0.01, 8000.0)
+        with pytest.raises(SignalDomainError):
+            spectrogram(s, frame_length=1024)
+
+
+class TestConvenience:
+    def test_band_rms_matches_time_domain(self):
+        s = tone(1000.0, 2.0, 16000.0, amplitude=2.0)
+        assert band_rms(s, 900, 1100) == pytest.approx(s.rms(), rel=0.05)
+
+    def test_dominant_frequency(self):
+        s = multi_tone([(100.0, 0.2), (2000.0, 1.0)], 1.0, 16000.0)
+        assert dominant_frequency(s) == pytest.approx(2000.0, abs=10)

@@ -1,0 +1,67 @@
+"""Unit tests for window functions."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.windows import (
+    blackman,
+    coherent_gain,
+    get_window,
+    hamming,
+    hann,
+    noise_gain,
+    rectangular,
+)
+from repro.errors import SignalDomainError
+
+
+class TestWindowShapes:
+    @pytest.mark.parametrize(
+        "factory", [rectangular, hann, hamming, blackman]
+    )
+    def test_length_and_bounds(self, factory):
+        w = factory(64)
+        assert w.shape == (64,)
+        assert np.all(w <= 1.0 + 1e-12)
+        assert np.all(w >= -1e-12)
+
+    @pytest.mark.parametrize("factory", [hann, hamming, blackman])
+    def test_symmetry(self, factory):
+        w = factory(65)
+        assert np.allclose(w, w[::-1])
+
+    def test_hann_endpoints_zero(self):
+        w = hann(32)
+        assert w[0] == pytest.approx(0.0, abs=1e-12)
+        assert w[-1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_hamming_endpoints_nonzero(self):
+        assert hamming(32)[0] == pytest.approx(0.08, abs=0.01)
+
+    def test_single_sample_window(self):
+        for factory in (rectangular, hann, hamming, blackman):
+            assert factory(1)[0] == 1.0
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(SignalDomainError):
+            hann(0)
+
+
+class TestLookup:
+    def test_get_window_by_name(self):
+        assert np.allclose(get_window("hann", 16), hann(16))
+
+    def test_unknown_name_lists_options(self):
+        with pytest.raises(SignalDomainError) as excinfo:
+            get_window("kaiser", 16)
+        assert "hann" in str(excinfo.value)
+
+
+class TestGains:
+    def test_rectangular_gains_are_unity(self):
+        w = rectangular(128)
+        assert coherent_gain(w) == pytest.approx(1.0)
+        assert noise_gain(w) == pytest.approx(1.0)
+
+    def test_hann_coherent_gain(self):
+        assert coherent_gain(hann(4096)) == pytest.approx(0.5, abs=0.01)

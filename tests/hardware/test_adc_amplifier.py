@@ -1,0 +1,109 @@
+"""Unit tests for the ADC and amplifier models."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.signals import Signal, Unit, multi_tone, tone
+from repro.dsp.spectrum import band_power, dominant_frequency
+from repro.hardware.adc import AnalogToDigitalConverter
+from repro.hardware.amplifier import Amplifier
+from repro.hardware.nonlinearity import PolynomialNonlinearity
+from repro.errors import HardwareModelError
+
+
+class TestAdc:
+    def test_output_rate_and_unit(self):
+        adc = AnalogToDigitalConverter(sample_rate=48000.0)
+        out = adc.convert(tone(1000.0, 0.1, 192000.0, unit=Unit.VOLT))
+        assert out.sample_rate == 48000.0
+        assert out.unit == Unit.DIGITAL
+
+    def test_tone_survives(self):
+        adc = AnalogToDigitalConverter(sample_rate=48000.0)
+        out = adc.convert(tone(1000.0, 0.2, 192000.0, unit=Unit.VOLT))
+        assert dominant_frequency(out) == pytest.approx(1000.0, abs=10)
+
+    def test_ultrasound_removed(self):
+        adc = AnalogToDigitalConverter(sample_rate=48000.0)
+        s = multi_tone(
+            [(1000.0, 0.4), (40000.0, 0.4)], 0.2, 192000.0,
+            unit=Unit.VOLT,
+        )
+        out = adc.convert(s)
+        assert band_power(out, 900, 1100) > 0.01
+        # 40 kHz must not alias into the kept band.
+        assert band_power(out, 7000, 9000) < 1e-8
+
+    def test_clipping(self):
+        adc = AnalogToDigitalConverter(sample_rate=48000.0, full_scale=0.5)
+        out = adc.convert(tone(1000.0, 0.1, 96000.0, unit=Unit.VOLT))
+        assert out.peak() <= 1.0 + 1e-9
+        assert np.mean(np.abs(out.samples) > 0.99) > 0.1
+
+    def test_quantization_step(self):
+        adc = AnalogToDigitalConverter(sample_rate=8000.0, bit_depth=8)
+        out = adc.convert(
+            tone(100.0, 0.1, 8000.0, amplitude=0.5, unit=Unit.VOLT)
+        )
+        distinct = np.unique(out.samples)
+        assert len(distinct) <= 2**8
+
+    def test_16bit_quantization_noise_small(self):
+        adc = AnalogToDigitalConverter(sample_rate=8000.0, bit_depth=16)
+        s = tone(100.0, 0.2, 8000.0, amplitude=0.5, unit=Unit.VOLT)
+        out = adc.convert(s)
+        n = out.n_samples
+        middle = slice(n // 4, 3 * n // 4)  # skip filter edge transients
+        error = out.samples[middle] - s.samples[middle]
+        assert np.max(np.abs(error)) < 1e-3
+
+    def test_input_below_device_rate_rejected(self):
+        adc = AnalogToDigitalConverter(sample_rate=48000.0)
+        with pytest.raises(HardwareModelError):
+            adc.convert(tone(100.0, 0.1, 16000.0, unit=Unit.VOLT))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(HardwareModelError):
+            AnalogToDigitalConverter(sample_rate=-1.0)
+        with pytest.raises(HardwareModelError):
+            AnalogToDigitalConverter(sample_rate=48000.0, bit_depth=1)
+        with pytest.raises(HardwareModelError):
+            AnalogToDigitalConverter(sample_rate=48000.0, full_scale=0.0)
+
+
+class TestAmplifier:
+    def test_gain(self):
+        amp = Amplifier(gain=3.0)
+        out = amp.amplify(Signal([1.0, -2.0], 100.0, Unit.VOLT))
+        assert list(out.samples) == [3.0, -6.0]
+
+    def test_clipping_at_saturation(self):
+        amp = Amplifier(gain=10.0, saturation=5.0)
+        out = amp.amplify(Signal([1.0], 100.0, Unit.VOLT))
+        assert out.samples[0] == 5.0
+
+    def test_headroom(self):
+        amp = Amplifier(gain=1.0, saturation=10.0)
+        s = Signal([1.0], 100.0, Unit.VOLT)
+        assert amp.headroom_db(s) == pytest.approx(20.0)
+
+    def test_nonlinear_amp_distorts(self):
+        amp = Amplifier(
+            gain=1.0,
+            saturation=1.0,
+            nonlinearity=PolynomialNonlinearity((1.0, 0.2)),
+        )
+        s = tone(1000.0, 0.1, 48000.0, amplitude=0.5, unit=Unit.VOLT)
+        out = amp.amplify(s)
+        assert band_power(out, 1900, 2100) > 1e-6
+
+    def test_nonlinear_amp_needs_finite_saturation(self):
+        amp = Amplifier(
+            nonlinearity=PolynomialNonlinearity((1.0, 0.2))
+        )
+        with pytest.raises(HardwareModelError):
+            amp.amplify(Signal([0.1], 100.0, Unit.VOLT))
+
+    def test_invalid_gain_rejected(self):
+        with pytest.raises(HardwareModelError):
+            Amplifier(gain=0.0)

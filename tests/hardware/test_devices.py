@@ -1,0 +1,93 @@
+"""Tests for the calibrated device presets and their orderings."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics.spl import spl_to_pressure
+from repro.dsp.modulation import am_modulate
+from repro.dsp.signals import Unit, tone
+from repro.dsp.spectrum import band_power
+from repro.hardware.devices import (
+    amazon_echo_microphone,
+    android_phone_microphone,
+    horn_tweeter,
+    ideal_linear_microphone,
+    ultrasonic_piezo_element,
+)
+
+RATE = 192000.0
+
+
+def _am_ultrasound(spl=100.0):
+    message = tone(1000.0, 0.3, RATE)
+    modulated = am_modulate(message, 40000.0, bandwidth_hz=2000.0)
+    peak = spl_to_pressure(spl) * np.sqrt(2)
+    return modulated.scaled_to_peak(peak).with_unit(Unit.PASCAL)
+
+
+class TestMicrophonePresets:
+    def test_device_rates(self):
+        assert android_phone_microphone().config.device_rate == 48000.0
+        assert amazon_echo_microphone().config.device_rate == 16000.0
+
+    def test_phone_demodulates_more_than_echo(self):
+        # The device ordering every attack table relies on: the exposed
+        # phone microphone receives (and demodulates) more ultrasound
+        # than the covered echo microphone.
+        wave = _am_ultrasound()
+        phone = android_phone_microphone().record(
+            wave, np.random.default_rng(1)
+        )
+        echo = amazon_echo_microphone().record(
+            wave, np.random.default_rng(1)
+        )
+        assert band_power(phone, 900, 1100) > band_power(echo, 900, 1100)
+
+    def test_linear_preset_is_linear(self):
+        assert ideal_linear_microphone().config.nonlinearity.is_linear()
+
+    def test_nonlinear_presets_are_not(self):
+        assert not android_phone_microphone().config.nonlinearity.is_linear()
+        assert not amazon_echo_microphone().config.nonlinearity.is_linear()
+
+    def test_presets_are_independent_instances(self):
+        a = android_phone_microphone()
+        b = android_phone_microphone()
+        assert a is not b
+        assert a.config == b.config
+
+
+class TestSpeakerPresets:
+    def test_tweeter_more_powerful_than_piezo(self):
+        tweeter = horn_tweeter()
+        piezo = ultrasonic_piezo_element()
+        assert (
+            tweeter.config.max_electrical_power_w
+            > piezo.config.max_electrical_power_w
+        )
+        assert tweeter.config.max_spl_at_1m > piezo.config.max_spl_at_1m
+
+    def test_piezo_passband_is_ultrasonic(self):
+        low, high = ultrasonic_piezo_element().config.passband_hz
+        assert low > 20000.0
+        assert high > low
+
+    def test_tweeter_passband_reaches_audible(self):
+        low, _ = horn_tweeter().config.passband_hz
+        assert low < 20000.0
+
+    def test_both_speakers_nonlinear(self):
+        assert not horn_tweeter().config.nonlinearity.is_linear()
+        assert not ultrasonic_piezo_element().config.nonlinearity.is_linear()
+
+    def test_device_ordering_attack_range(self):
+        # Sanity cross-check of the calibration: the piezo's rated SPL
+        # at full drive must be below the tweeter's, so the long-range
+        # attack's advantage comes from element count, not a stronger
+        # element.
+        piezo = ultrasonic_piezo_element()
+        tweeter = horn_tweeter()
+        drive = tone(30000.0, 0.2, RATE)
+        p_piezo = piezo.play(drive).rms()
+        p_tweeter = tweeter.play(drive).rms()
+        assert p_tweeter > p_piezo

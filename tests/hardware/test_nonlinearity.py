@@ -1,0 +1,103 @@
+"""Unit tests for the polynomial nonlinearity model."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.signals import multi_tone, tone
+from repro.dsp.spectrum import welch_psd
+from repro.hardware.nonlinearity import PolynomialNonlinearity
+from repro.errors import HardwareModelError
+
+RATE = 192000.0
+
+
+class TestConstruction:
+    def test_accessors(self):
+        nl = PolynomialNonlinearity((2.0, 0.1, 0.01))
+        assert nl.a1 == 2.0
+        assert nl.a2 == 0.1
+        assert nl.a3 == 0.01
+        assert nl.order == 3
+
+    def test_defaults_for_missing_orders(self):
+        nl = PolynomialNonlinearity((1.0,))
+        assert nl.a2 == 0.0
+        assert nl.a3 == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(HardwareModelError):
+            PolynomialNonlinearity(())
+
+    def test_zero_linear_gain_rejected(self):
+        with pytest.raises(HardwareModelError):
+            PolynomialNonlinearity((0.0, 0.1))
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(HardwareModelError):
+            PolynomialNonlinearity((1.0, np.inf))
+
+    def test_linear_factory(self):
+        nl = PolynomialNonlinearity.linear(3.0)
+        assert nl.is_linear()
+        assert nl.a1 == 3.0
+
+
+class TestApplication:
+    def test_linear_passthrough(self):
+        nl = PolynomialNonlinearity.linear(2.0)
+        x = np.array([0.1, -0.5])
+        assert np.allclose(nl.apply_array(x), 2.0 * x)
+
+    def test_polynomial_values(self):
+        nl = PolynomialNonlinearity((1.0, 0.5, 0.25))
+        x = np.array([2.0])
+        # 1*2 + 0.5*4 + 0.25*8 = 6
+        assert nl.apply_array(x)[0] == pytest.approx(6.0)
+
+    def test_signal_wrapper_preserves_metadata(self):
+        nl = PolynomialNonlinearity((1.0, 0.1))
+        s = tone(1000.0, 0.1, RATE)
+        out = nl.apply(s)
+        assert out.sample_rate == s.sample_rate
+        assert out.unit == s.unit
+
+
+class TestSpectralEffects:
+    def test_harmonics_appear(self):
+        nl = PolynomialNonlinearity((1.0, 0.1))
+        s = tone(10000.0, 0.2, RATE)
+        psd = welch_psd(nl.apply(s), segment_length=16384)
+        assert psd.band_power(19500, 20500) > 1e-6  # 2nd harmonic
+
+    def test_intermodulation_difference_tone(self):
+        nl = PolynomialNonlinearity((1.0, 0.1))
+        s = multi_tone([(25000.0, 1.0), (30000.0, 1.0)], 0.2, RATE)
+        psd = welch_psd(nl.apply(s), segment_length=16384)
+        assert psd.band_power(4800, 5200) > 1e-5   # f2 - f1
+        assert psd.band_power(54500, 55500) > 1e-5  # f1 + f2
+
+    def test_linear_device_produces_no_intermodulation(self):
+        nl = PolynomialNonlinearity.linear()
+        s = multi_tone([(25000.0, 1.0), (30000.0, 1.0)], 0.2, RATE)
+        psd = welch_psd(nl.apply(s), segment_length=16384)
+        assert psd.band_power(4800, 5200) < 1e-12
+
+    def test_predicted_product_amplitude(self):
+        nl = PolynomialNonlinearity((1.0, 0.05))
+        predicted = nl.second_order_product_amplitude(0.5, 0.4)
+        assert predicted == pytest.approx(0.05 * 0.5 * 0.4)
+
+    def test_negative_amplitude_rejected(self):
+        nl = PolynomialNonlinearity((1.0, 0.05))
+        with pytest.raises(HardwareModelError):
+            nl.second_order_product_amplitude(-0.1, 0.4)
+
+
+class TestScaling:
+    def test_scaled(self):
+        nl = PolynomialNonlinearity((1.0, 0.1)).scaled(2.0)
+        assert nl.coefficients == (2.0, 0.2)
+
+    def test_scale_by_zero_rejected(self):
+        with pytest.raises(HardwareModelError):
+            PolynomialNonlinearity((1.0,)).scaled(0.0)

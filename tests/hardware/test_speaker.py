@@ -1,0 +1,153 @@
+"""Unit tests for the ultrasonic speaker model."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics.spl import pressure_to_spl
+from repro.dsp.modulation import am_modulate
+from repro.dsp.signals import Unit, tone
+from repro.dsp.spectrum import band_power
+from repro.hardware.devices import horn_tweeter, ultrasonic_piezo_element
+from repro.hardware.speaker import SpeakerConfig, UltrasonicSpeaker
+from repro.errors import HardwareModelError, SignalDomainError
+
+RATE = 192000.0
+
+
+def _am_drive(message_hz=1000.0, carrier_hz=40000.0, duration=0.3):
+    message = tone(message_hz, duration, RATE)
+    modulated = am_modulate(message, carrier_hz, bandwidth_hz=2000.0)
+    return modulated.scaled_to_peak(1.0)
+
+
+class TestPlay:
+    def test_output_is_pressure(self):
+        speaker = ultrasonic_piezo_element()
+        out = speaker.play(tone(30000.0, 0.1, RATE))
+        assert out.unit == Unit.PASCAL
+
+    def test_full_drive_reaches_rated_spl(self):
+        speaker = ultrasonic_piezo_element()
+        out = speaker.play(tone(30000.0, 0.2, RATE))
+        rated = speaker.config.max_spl_at_1m
+        assert pressure_to_spl(out.rms()) == pytest.approx(rated, abs=1.5)
+
+    def test_drive_level_scales_output(self):
+        speaker = ultrasonic_piezo_element()
+        drive = tone(30000.0, 0.2, RATE)
+        full = speaker.play(drive, 1.0)
+        half = speaker.play(drive, 0.5)
+        # Linear part halves; SPL drops ~6 dB.
+        assert pressure_to_spl(full.rms()) - pressure_to_spl(
+            half.rms()
+        ) == pytest.approx(6.0, abs=0.5)
+
+    def test_out_of_band_content_attenuated(self):
+        speaker = ultrasonic_piezo_element()
+        low, _ = speaker.config.passband_hz
+        in_band = speaker.play(tone(30000.0, 0.2, RATE))
+        out_band = speaker.play(tone(5000.0, 0.2, RATE))
+        assert pressure_to_spl(in_band.rms()) - pressure_to_spl(
+            out_band.rms()
+        ) > speaker.config.out_of_band_rejection_db
+
+    def test_rolloff_grows_with_distance_from_band(self):
+        speaker = ultrasonic_piezo_element()
+        at_5k = speaker.play(tone(5000.0, 0.2, RATE))
+        at_500 = speaker.play(tone(500.0, 0.2, RATE))
+        extra_db = pressure_to_spl(at_5k.rms()) - pressure_to_spl(
+            at_500.rms()
+        )
+        octaves = np.log2(5000.0 / 500.0)
+        expected = octaves * speaker.config.rolloff_db_per_octave
+        assert extra_db == pytest.approx(expected, abs=3.0)
+
+    def test_overdriven_waveform_rejected(self):
+        speaker = ultrasonic_piezo_element()
+        with pytest.raises(HardwareModelError):
+            speaker.play(tone(30000.0, 0.1, RATE, amplitude=1.5))
+
+    def test_wrong_unit_rejected(self):
+        speaker = ultrasonic_piezo_element()
+        with pytest.raises(SignalDomainError):
+            speaker.play(
+                tone(30000.0, 0.1, RATE, unit=Unit.PASCAL)
+            )
+
+    def test_bad_drive_level_rejected(self):
+        speaker = ultrasonic_piezo_element()
+        drive = tone(30000.0, 0.1, RATE)
+        with pytest.raises(HardwareModelError):
+            speaker.play(drive, 0.0)
+        with pytest.raises(HardwareModelError):
+            speaker.play(drive, 1.2)
+
+
+class TestLeakagePhysics:
+    def test_am_drive_leaks_demodulated_baseband(self):
+        speaker = horn_tweeter()
+        out = speaker.play(_am_drive())
+        # The driver's quadratic term demodulates the 1 kHz message.
+        assert band_power(out, 900, 1100) > 0
+
+    def test_linearised_speaker_leaks_far_less(self):
+        speaker = horn_tweeter()
+        clean = speaker.linear_only()
+        drive = _am_drive()
+        leak_nl = band_power(speaker.play(drive), 900, 1100)
+        leak_lin = band_power(clean.play(drive), 900, 1100)
+        assert leak_nl > 100 * leak_lin
+
+    def test_leakage_grows_faster_than_signal(self):
+        speaker = horn_tweeter()
+        drive = _am_drive()
+        leak_full = band_power(speaker.play(drive, 1.0), 900, 1100)
+        leak_half = band_power(speaker.play(drive, 0.5), 900, 1100)
+        # Quadratic: half drive => leakage power falls ~12 dB, not 6.
+        ratio_db = 10 * np.log10(leak_full / leak_half)
+        assert ratio_db == pytest.approx(12.0, abs=2.0)
+
+    def test_pure_carrier_leaks_no_audible_tone(self):
+        speaker = ultrasonic_piezo_element()
+        out = speaker.play(tone(40000.0, 0.2, RATE))
+        # Squared pure tone = DC + 80 kHz; the audible band gets at most
+        # rolloff-floor residue.
+        audible = band_power(out, 100, 15000)
+        total = out.rms() ** 2
+        assert audible < total * 1e-4
+
+
+class TestPower:
+    def test_drive_level_for_power(self):
+        speaker = ultrasonic_piezo_element()  # rated 2 W
+        assert speaker.drive_level_for_power(2.0) == pytest.approx(1.0)
+        assert speaker.drive_level_for_power(0.5) == pytest.approx(0.5)
+
+    def test_over_rated_power_rejected(self):
+        speaker = ultrasonic_piezo_element()
+        with pytest.raises(HardwareModelError):
+            speaker.drive_level_for_power(5.0)
+
+    def test_play_with_power(self):
+        speaker = ultrasonic_piezo_element()
+        drive = tone(30000.0, 0.1, RATE)
+        a = speaker.play_with_power(drive, 0.5)
+        b = speaker.play(drive, 0.5)
+        assert a == b
+
+
+class TestConfigValidation:
+    def test_invalid_passband_rejected(self):
+        with pytest.raises(HardwareModelError):
+            SpeakerConfig(passband_hz=(50000.0, 30000.0))
+
+    def test_invalid_spl_rejected(self):
+        with pytest.raises(HardwareModelError):
+            SpeakerConfig(max_spl_at_1m=200.0)
+
+    def test_passband_above_nyquist_rejected(self):
+        speaker = UltrasonicSpeaker(
+            SpeakerConfig(passband_hz=(44000.0, 60000.0))
+        )
+        with pytest.raises(HardwareModelError):
+            speaker.play(tone(1000.0, 0.1, 48000.0))

@@ -1,0 +1,125 @@
+"""Unit tests for the psychoacoustics package."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics.spl import spl_to_pressure
+from repro.dsp.signals import Unit, tone
+from repro.psychoacoustics.audibility import (
+    audibility_margin_db,
+    audible,
+    evaluate_audibility,
+    third_octave_bands,
+)
+from repro.psychoacoustics.threshold import (
+    ULTRASONIC_THRESHOLD_SPL,
+    hearing_threshold_spl,
+    threshold_curve,
+)
+from repro.psychoacoustics.weighting import (
+    a_weighted_spl,
+    a_weighting_db,
+)
+from repro.errors import SignalDomainError
+
+
+class TestThreshold:
+    def test_most_sensitive_region_near_3khz(self):
+        t3k = hearing_threshold_spl(3300.0)
+        assert t3k < hearing_threshold_spl(100.0)
+        assert t3k < hearing_threshold_spl(15000.0)
+        assert t3k < 0.0  # the 3-4 kHz dip is below 0 dB SPL
+
+    def test_1khz_near_zero(self):
+        assert hearing_threshold_spl(1000.0) == pytest.approx(3.4, abs=2.0)
+
+    def test_low_frequency_rise(self):
+        assert hearing_threshold_spl(30.0) > 40.0
+
+    def test_steep_rise_toward_20khz(self):
+        assert hearing_threshold_spl(18000.0) > 40.0
+
+    def test_ultrasound_unhearable(self):
+        assert hearing_threshold_spl(25000.0) == ULTRASONIC_THRESHOLD_SPL
+        assert hearing_threshold_spl(40000.0) == ULTRASONIC_THRESHOLD_SPL
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(SignalDomainError):
+            hearing_threshold_spl(0.0)
+
+    def test_curve_matches_scalar(self):
+        freqs = np.array([100.0, 1000.0, 10000.0])
+        curve = threshold_curve(freqs)
+        assert curve[1] == hearing_threshold_spl(1000.0)
+
+
+class TestAWeighting:
+    def test_zero_at_1khz(self):
+        assert a_weighting_db(1000.0) == pytest.approx(0.0, abs=0.2)
+
+    def test_low_frequency_strongly_discounted(self):
+        assert a_weighting_db(50.0) < -25.0
+
+    def test_combined_level(self):
+        level = a_weighted_spl(
+            np.array([60.0, 60.0]), np.array([1000.0, 2000.0])
+        )
+        assert 61.0 < level < 65.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SignalDomainError):
+            a_weighted_spl(np.array([60.0]), np.array([1000.0, 2000.0]))
+
+
+class TestThirdOctaveBands:
+    def test_bands_cover_audible_range(self):
+        bands = third_octave_bands()
+        assert bands[0][0] <= 25.0
+        assert bands[-1][2] >= 18000.0
+
+    def test_bands_contiguous(self):
+        bands = third_octave_bands()
+        for (_, _, high), (low, _, _) in zip(bands, bands[1:]):
+            assert high == pytest.approx(low, rel=1e-9)
+
+    def test_1khz_is_a_center(self):
+        centers = [c for _, c, _ in third_octave_bands()]
+        assert any(abs(c - 1000.0) < 1.0 for c in centers)
+
+
+class TestAudibility:
+    def _tone_at_spl(self, frequency, spl, rate=96000.0):
+        rms = spl_to_pressure(spl)
+        return tone(
+            frequency, 0.5, rate, amplitude=rms * np.sqrt(2),
+            unit=Unit.PASCAL,
+        )
+
+    def test_loud_1khz_tone_is_audible(self):
+        assert audible(self._tone_at_spl(1000.0, 60.0))
+
+    def test_faint_1khz_tone_is_not(self):
+        assert not audible(self._tone_at_spl(1000.0, -10.0))
+
+    def test_margin_tracks_level(self):
+        quiet = audibility_margin_db(self._tone_at_spl(1000.0, 20.0))
+        loud = audibility_margin_db(self._tone_at_spl(1000.0, 40.0))
+        assert loud - quiet == pytest.approx(20.0, abs=1.5)
+
+    def test_ultrasound_inaudible_even_loud(self):
+        wave = self._tone_at_spl(30000.0, 110.0, rate=192000.0)
+        report = evaluate_audibility(wave)
+        assert not report.is_audible
+
+    def test_low_frequency_needs_more_spl(self):
+        # 45 dB SPL: audible at 1 kHz, below threshold at 40 Hz.
+        assert audible(self._tone_at_spl(1000.0, 45.0))
+        assert not audible(self._tone_at_spl(40.0, 45.0))
+
+    def test_worst_band_identifies_tone(self):
+        report = evaluate_audibility(self._tone_at_spl(1000.0, 60.0))
+        assert report.worst_band_hz() == pytest.approx(1000.0, rel=0.2)
+
+    def test_requires_pascal(self):
+        with pytest.raises(SignalDomainError):
+            evaluate_audibility(tone(1000.0, 0.1, 48000.0))

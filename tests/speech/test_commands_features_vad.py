@@ -1,0 +1,151 @@
+"""Unit tests for the command corpus, MFCC front-end and VAD."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.signals import silence, tone, white_noise
+from repro.speech.commands import (
+    COMMAND_CORPUS,
+    get_command,
+    synthesize_command,
+)
+from repro.speech.features import (
+    MfccConfig,
+    MfccExtractor,
+    hz_to_mel,
+    mel_filterbank,
+    mel_to_hz,
+)
+from repro.speech.vad import frame_energies, trim_silence, voice_activity
+from repro.errors import RecognitionError, SynthesisError
+
+
+class TestCorpus:
+    def test_corpus_covers_paper_commands(self):
+        assert "ok_google" in COMMAND_CORPUS
+        assert "alexa" in COMMAND_CORPUS
+        assert "take_a_picture" in COMMAND_CORPUS
+        assert "add_milk" in COMMAND_CORPUS
+        assert len(COMMAND_CORPUS) >= 8
+
+    def test_all_commands_synthesize(self, rng):
+        for name in COMMAND_CORPUS:
+            wave = synthesize_command(name, rng)
+            assert wave.duration > 0.2
+            assert wave.rms() > 0.01
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SynthesisError):
+            get_command("self_destruct")
+
+
+class TestMelScale:
+    def test_round_trip(self):
+        assert mel_to_hz(hz_to_mel(1234.5)) == pytest.approx(1234.5)
+
+    def test_1000hz_is_1000mel(self):
+        assert hz_to_mel(1000.0) == pytest.approx(1000.0, abs=1.0)
+
+
+class TestFilterbank:
+    def test_shape(self):
+        bank = mel_filterbank(26, 512, 16000.0)
+        assert bank.shape == (26, 257)
+
+    def test_rows_nonzero(self):
+        bank = mel_filterbank(26, 512, 16000.0)
+        assert np.all(bank.sum(axis=1) > 0)
+
+    def test_invalid_band_rejected(self):
+        with pytest.raises(RecognitionError):
+            mel_filterbank(26, 512, 16000.0, low_hz=9000.0)
+
+    def test_too_few_filters_rejected(self):
+        with pytest.raises(RecognitionError):
+            mel_filterbank(1, 512, 16000.0)
+
+
+class TestMfcc:
+    def test_feature_shape(self, rng):
+        wave = synthesize_command("alexa", rng)
+        features = MfccExtractor().extract(wave)
+        config = MfccConfig()
+        expected_dim = (config.n_coefficients + 1) * 2  # energy + deltas
+        assert features.shape[1] == expected_dim
+        assert features.shape[0] > 20
+
+    def test_mean_normalized(self, rng):
+        wave = synthesize_command("alexa", rng)
+        config = MfccConfig(include_deltas=False)
+        features = MfccExtractor(config).extract(wave)
+        assert np.allclose(np.mean(features, axis=0), 0.0, atol=1e-9)
+
+    def test_different_phonemes_different_features(self, rng):
+        from repro.speech.synthesis import FormantSynthesizer
+
+        synth = FormantSynthesizer()
+        extractor = MfccExtractor(MfccConfig(mean_normalize=False))
+        aa = extractor.extract(synth.synthesize([("AA", 0.3)], rng))
+        ss = extractor.extract(synth.synthesize([("S", 0.3)], rng))
+        distance = np.linalg.norm(
+            np.mean(aa, axis=0) - np.mean(ss, axis=0)
+        )
+        assert distance > 1.0
+
+    def test_too_short_signal_rejected(self):
+        with pytest.raises(RecognitionError):
+            MfccExtractor().extract(tone(100.0, 0.001, 16000.0))
+
+    def test_config_validation(self):
+        with pytest.raises(RecognitionError):
+            MfccConfig(hop_length_s=0.05, frame_length_s=0.025)
+        with pytest.raises(RecognitionError):
+            MfccConfig(n_coefficients=40, n_filters=26)
+        with pytest.raises(RecognitionError):
+            MfccConfig(pre_emphasis=1.5)
+
+
+class TestVad:
+    def test_frame_energies_shape(self, rng):
+        wave = synthesize_command("alexa", rng)
+        energies = frame_energies(wave)
+        assert energies.ndim == 1
+        assert energies.size > 10
+
+    def test_activity_found_in_speech(self, rng):
+        wave = synthesize_command("alexa", rng)
+        mask = voice_activity(wave)
+        assert np.mean(mask) > 0.3
+
+    def test_no_activity_in_silence(self):
+        quiet = silence(1.0, 16000.0)
+        mask = voice_activity(quiet)
+        assert not np.any(mask)
+
+    def test_trim_removes_padding(self, rng):
+        wave = synthesize_command("alexa", rng)
+        padded = wave.padded(
+            int(0.5 * wave.sample_rate), int(0.5 * wave.sample_rate)
+        )
+        trimmed = trim_silence(padded)
+        assert trimmed.duration < padded.duration - 0.5
+
+    def test_trim_of_silence_returns_unchanged(self):
+        quiet = silence(0.5, 16000.0)
+        assert trim_silence(quiet).n_samples == quiet.n_samples
+
+    def test_trim_keeps_quiet_tails_of_noisy_speech(self, rng):
+        # Dynamic-range expansion must not amputate soft phonemes: see
+        # the VAD threshold rationale.
+        wave = synthesize_command("ok_google", rng)
+        loud_then_soft = wave.replace(
+            samples=np.concatenate(
+                [wave.samples, 0.05 * wave.samples]
+            )
+        )
+        trimmed = trim_silence(loud_then_soft)
+        assert trimmed.duration > 1.5 * wave.duration
+
+    def test_too_short_signal_rejected(self):
+        with pytest.raises(RecognitionError):
+            frame_energies(tone(100.0, 0.001, 16000.0))

@@ -1,0 +1,69 @@
+"""Tests for the exception hierarchy and the package surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    AttackConfigError,
+    DefenseError,
+    ExperimentError,
+    FilterDesignError,
+    GeometryError,
+    HardwareModelError,
+    ModulationError,
+    RecognitionError,
+    ReproError,
+    SampleRateError,
+    SignalDomainError,
+    SynthesisError,
+)
+
+ALL_ERRORS = [
+    SampleRateError,
+    SignalDomainError,
+    FilterDesignError,
+    ModulationError,
+    GeometryError,
+    HardwareModelError,
+    SynthesisError,
+    RecognitionError,
+    AttackConfigError,
+    DefenseError,
+    ExperimentError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("error_type", ALL_ERRORS)
+    def test_all_derive_from_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+
+    @pytest.mark.parametrize("error_type", ALL_ERRORS)
+    def test_catchable_as_repro_error(self, error_type):
+        with pytest.raises(ReproError):
+            raise error_type("boom")
+
+    def test_library_failures_are_repro_errors(self):
+        # A representative failure from each layer is catchable with
+        # one except clause — the property the hierarchy exists for.
+        from repro.dsp.signals import Signal
+
+        with pytest.raises(ReproError):
+            Signal([1.0], -1.0)
+        with pytest.raises(ReproError):
+            repro.Position(0, 0, 0).mirrored("q", 0.0)
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_key_classes_importable_from_top_level(self):
+        assert repro.SingleSpeakerAttacker is not None
+        assert repro.LongRangeAttacker is not None
+        assert repro.InaudibleVoiceDetector is not None
+        assert repro.KeywordRecognizer is not None

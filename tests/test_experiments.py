@@ -1,0 +1,180 @@
+"""Structural tests for every reproduction experiment.
+
+Each experiment runs once in quick mode (module-scoped cache) and its
+table is checked for the *shape* properties the paper reports — these
+are the assertions that make the reproduction claims executable.
+"""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.__main__ import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def tables():
+    """Run every experiment once (quick mode) and cache the tables."""
+    return {
+        name: module.run(quick=True, seed=0)
+        for name, module in ALL_EXPERIMENTS.items()
+    }
+
+
+class TestHarness:
+    def test_registry_complete(self):
+        expected = {
+            "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9",
+            "T1", "T2", "T3", "A1", "A2", "A3",
+        }
+        assert set(ALL_EXPERIMENTS) == expected
+
+    def test_every_table_renders(self, tables):
+        for name, table in tables.items():
+            text = table.render()
+            assert name in text.split(":")[0]
+            assert len(table.rows) >= 1
+
+
+class TestF1:
+    def test_attack_waveform_is_ultrasonic(self, tables):
+        table = tables["F1"]
+        attack_row = [r for r in table.rows if "attack" in r[0]][0]
+        # voice band at least 60 dB below the ultrasonic content.
+        assert attack_row[1] < attack_row[3] - 60
+
+    def test_recording_recovers_voice_band(self, tables):
+        table = tables["F1"]
+        recording_row = [r for r in table.rows if "recording" in r[0]][0]
+        assert recording_row[1] > -6.0  # voice band dominates
+
+
+class TestF2:
+    def test_leakage_monotone_in_power(self, tables):
+        margins = tables["F2"].column("margin dB")
+        assert margins == sorted(margins)
+
+    def test_full_power_is_audible(self, tables):
+        assert tables["F2"].column("audible")[-1] is True
+
+
+class TestF3:
+    def test_full_drive_beats_capped(self, tables):
+        table = tables["F3"]
+        full = table.column("full drive")
+        capped = table.column("inaudible drive")
+        assert sum(full) >= sum(capped)
+
+    def test_capped_fails_beyond_arms_length(self, tables):
+        table = tables["F3"]
+        far_rows = [
+            row for row in table.rows if row[0] >= 2.0
+        ]
+        assert all(row[2] <= 0.5 for row in far_rows)
+
+
+class TestF4:
+    def test_array_extends_range_over_capped_single(self, tables):
+        table = tables["F4"]
+        single = [r for r in table.rows if "single" in r[1]][0][2]
+        arrays = [r[2] for r in table.rows if r[1] == "split array"]
+        assert max(arrays) > single
+
+
+class TestF5:
+    def test_narrower_chunks_leak_less(self, tables):
+        margins = tables["F5"].column("worst margin dB")
+        assert margins[-1] < margins[0]
+
+    def test_no_chunk_audible_at_moderate_splits(self, tables):
+        table = tables["F5"]
+        for row in table.rows:
+            if row[0] >= 8:
+                assert row[3] == 0
+
+
+class TestF7:
+    def test_trace_power_separates_classes(self, tables):
+        table = tables["F7"]
+        for row in table.rows:
+            if row[1] == "trace_power_db":
+                genuine, attacked, d_prime = row[2], row[3], row[4]
+                assert attacked > genuine + 5.0
+                assert d_prime > 1.0
+
+
+class TestF8:
+    def test_auc_near_paper_claim(self, tables):
+        for auc in tables["F8"].column("AUC"):
+            assert auc > 0.9
+
+
+class TestF9:
+    def test_detection_survives_depth_reduction(self, tables):
+        table = tables["F9"]
+        assert table.column("detection rate")[0] == 1.0
+
+
+class TestT1:
+    def test_range_grows_with_power(self, tables):
+        phone = tables["T1"].column("phone range m")
+        assert phone[-1] >= phone[0]
+
+    def test_phone_outranges_echo(self, tables):
+        table = tables["T1"]
+        phone = table.column("phone range m")
+        echo = table.column("echo range m")
+        assert sum(phone) >= sum(echo)
+
+
+class TestT2:
+    def test_array_attack_succeeds_at_paper_positions(self, tables):
+        table = tables["T2"]
+        array_rows = [r for r in table.rows if r[3] == "split array"]
+        assert all(row[4] >= 0.6 for row in array_rows)
+
+
+class TestT3:
+    def test_random_split_accuracy_high(self, tables):
+        table = tables["T3"]
+        random_rows = [r for r in table.rows if r[0] == "random"]
+        assert all(row[2] >= 0.85 for row in random_rows)
+
+
+class TestA1:
+    def test_carrier_separation_removes_leakage(self, tables):
+        table = tables["A1"]
+        for row in table.rows:
+            separate, mixed = row[1], row[2]
+            assert separate < mixed - 10.0
+
+
+class TestA2:
+    def test_waterfill_at_least_uniform(self, tables):
+        table = tables["A2"]
+        by_strategy = {}
+        for row in table.rows:
+            by_strategy.setdefault(row[0], {})[row[1]] = row[2]
+        for ranges in by_strategy.values():
+            assert ranges["waterfill"] >= ranges["uniform"] - 0.5
+
+
+class TestA3:
+    def test_power_features_dominant(self, tables):
+        table = tables["A3"]
+        auc = {row[0]: row[1] for row in table.rows}
+        assert auc["power only"] >= auc["correlation only"]
+        assert auc["all features"] >= 0.9
+
+
+class TestCli:
+    def test_single_experiment(self, capsys):
+        assert main(["F1"]) == 0
+        out = capsys.readouterr().out
+        assert "F1" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["ZZ"]) == 2
+
+    def test_parser_flags(self):
+        args = build_parser().parse_args(["F2", "--full", "--seed", "7"])
+        assert args.full and args.seed == 7
