@@ -18,9 +18,8 @@ Run: ``python examples/inaudibility_analysis.py``
 
 import numpy as np
 
-from repro import Position, horn_tweeter, synthesize_command, ultrasonic_piezo_element
+from repro import horn_tweeter, synthesize_command, ultrasonic_piezo_element
 from repro.attack import AttackPipeline, SpectralSplitter, leakage_report
-from repro.psychoacoustics import evaluate_audibility
 
 rng = np.random.default_rng(3)
 voice = synthesize_command("ok_google", rng)

@@ -26,7 +26,6 @@ from repro.attack.array import grid_array
 from repro.attack.attacker import LongRangeAttacker, SingleSpeakerAttacker
 from repro.attack.baselines import AudiblePlaybackAttacker
 from repro.defense.features import FEATURE_NAMES, feature_vector
-from repro.dsp.signals import Signal
 from repro.hardware.devices import (
     amazon_echo_microphone,
     android_phone_microphone,

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.dsp.filters import band_pass, low_pass
+from repro.dsp.filters import band_pass
 from repro.dsp.measures import (
     max_cross_correlation,
     power_ratio_to_db,

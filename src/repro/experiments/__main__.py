@@ -4,12 +4,15 @@ Run a single experiment::
 
     python -m repro.experiments F4
 
-Run everything (quick mode)::
+Run everything (quick mode) on every core::
 
     python -m repro.experiments all
 
 Add ``--full`` for the full-resolution sweeps recorded in
-EXPERIMENTS.md, and ``--seed N`` to vary the master seed.
+EXPERIMENTS.md, ``--seed N`` to vary the master seed, and ``--jobs N``
+to bound the worker pool (default: all CPU cores; ``--jobs 1`` runs
+serially). Rendered tables go to stdout and are byte-identical for
+every ``--jobs`` value; per-experiment timings go to stderr.
 """
 
 from __future__ import annotations
@@ -18,7 +21,9 @@ import argparse
 import sys
 import time
 
+from repro.errors import ExperimentError
 from repro.experiments import ALL_EXPERIMENTS
+from repro.sim.engine import ExperimentEngine
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,6 +45,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=0, help="master random seed"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: cpu count; 1 = serial)",
+    )
     return parser
 
 
@@ -58,15 +69,29 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
-    for name in names:
-        started = time.time()
-        table = ALL_EXPERIMENTS[name].run(
-            quick=not args.full, seed=args.seed
-        )
-        elapsed = time.time() - started
-        print(f"=== {name} ({elapsed:.0f} s)")
-        print(table.render())
-        print()
+    # One engine (one worker pool) shared by every experiment, so
+    # pool start-up and per-process emission caches amortise across
+    # the whole run.
+    try:
+        engine = ExperimentEngine(jobs=args.jobs)
+    except ExperimentError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    with engine:
+        for name in names:
+            started = time.time()
+            table = ALL_EXPERIMENTS[name].run(
+                quick=not args.full, seed=args.seed, engine=engine
+            )
+            elapsed = time.time() - started
+            print(
+                f"[{name}] finished in {elapsed:.1f} s "
+                f"(jobs={engine.jobs})",
+                file=sys.stderr,
+            )
+            print(f"=== {name}")
+            print(table.render())
+            print()
     return 0
 
 

@@ -1,0 +1,87 @@
+"""Shared emission builders for the experiment suite.
+
+Every builder here is a module-level function of cheaply picklable
+arguments, which is exactly what :class:`repro.sim.engine.EmissionSpec`
+needs: work units ship the *recipe* (a few hundred bytes) instead of
+the waveforms (tens of MB for a full array), and each process —
+parent or pool worker — materialises a given recipe at most once via
+the per-process emission cache.
+
+Centralising the builders also makes the cache key space shared across
+experiments: F3's full-drive horn emission for ``("ok_google", 0)`` is
+the *same* cache entry T2 uses, so an ``all`` run never synthesises the
+same attacker twice in one process.
+
+All builders place the rig at the suite-wide position
+:data:`ATTACKER_POSITION` and synthesise the command voice from a
+fresh ``default_rng(seed)`` via :func:`repro.sim.engine.cached_voice`.
+"""
+
+from __future__ import annotations
+
+from repro.acoustics.geometry import Position
+from repro.attack.array import grid_array
+from repro.attack.attacker import (
+    LongRangeAttacker,
+    SingleSpeakerAttacker,
+    SingleSpeakerEmission,
+    LongRangeEmission,
+)
+from repro.attack.pipeline import AttackPipelineConfig
+from repro.hardware.devices import horn_tweeter, ultrasonic_piezo_element
+from repro.sim.engine import cached_voice
+
+#: Rig centroid shared by every experiment in the suite.
+ATTACKER_POSITION = Position(0.0, 2.0, 1.0)
+
+
+def single_full(
+    command: str, seed: int, drive_level: float = 1.0
+) -> SingleSpeakerEmission:
+    """Horn-tweeter baseline at a fixed drive level."""
+    attacker = SingleSpeakerAttacker(horn_tweeter(), ATTACKER_POSITION)
+    return attacker.emit(cached_voice(command, seed), drive_level)
+
+
+def single_inaudible(command: str, seed: int) -> SingleSpeakerEmission:
+    """Horn-tweeter baseline capped at the maximum inaudible drive."""
+    attacker = SingleSpeakerAttacker(horn_tweeter(), ATTACKER_POSITION)
+    return attacker.emit_inaudibly(cached_voice(command, seed))
+
+
+def single_at_power(
+    command: str, seed: int, power_w: float
+) -> SingleSpeakerEmission:
+    """Horn-tweeter baseline driven at ``power_w`` electrical watts."""
+    speaker = horn_tweeter()
+    attacker = SingleSpeakerAttacker(speaker, ATTACKER_POSITION)
+    level = speaker.drive_level_for_power(power_w)
+    return attacker.emit(cached_voice(command, seed), level)
+
+
+def single_at_depth(
+    command: str, seed: int, modulation_depth: float
+) -> SingleSpeakerEmission:
+    """Full-drive baseline with a reduced AM modulation depth (F9)."""
+    attacker = SingleSpeakerAttacker(
+        horn_tweeter(),
+        ATTACKER_POSITION,
+        AttackPipelineConfig(modulation_depth=modulation_depth),
+    )
+    return attacker.emit(cached_voice(command, seed), drive_level=1.0)
+
+
+def array_split(
+    command: str,
+    seed: int,
+    n_speakers: int,
+    allocation_strategy: str = "waterfill",
+) -> LongRangeEmission:
+    """The paper's split-spectrum piezo array emission."""
+    array = grid_array(
+        n_speakers, ATTACKER_POSITION, ultrasonic_piezo_element
+    )
+    attacker = LongRangeAttacker(
+        array, allocation_strategy=allocation_strategy
+    )
+    return attacker.emit(cached_voice(command, seed))

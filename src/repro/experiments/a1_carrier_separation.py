@@ -5,27 +5,56 @@ quadratic term regenerates ``2 a2 m_i(t) c`` — an audible, partially
 intelligible copy of its slice of the command. Separating the carrier
 removes this first-order product from every element; what remains is
 the second-order chunk self-product. The ablation measures worst-chunk
-leakage both ways.
+leakage both ways, one array size per engine work unit.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.attack.leakage import leakage_report, max_inaudible_drive
 from repro.attack.splitter import SpectralSplitter
+from repro.dsp.signals import Signal
 from repro.hardware.devices import ultrasonic_piezo_element
+from repro.sim.engine import ExperimentEngine, cached_voice
 from repro.sim.results import ResultTable
-from repro.speech.commands import synthesize_command
+
+
+def _carrier_row(
+    task: tuple[int, Signal],
+) -> tuple[int, float, float, float]:
+    """Worker: leakage margins with and without carrier separation."""
+    n_chunks, voice = task
+    speaker = ultrasonic_piezo_element()
+    margins = {}
+    plans = {}
+    for separate in (True, False):
+        splitter = SpectralSplitter(
+            n_chunks=n_chunks, separate_carrier=separate
+        )
+        plans[separate] = splitter.split(voice)
+        margins[separate] = max(
+            leakage_report(speaker, chunk.drive, 1.0, 0.5).margin_db
+            for chunk in plans[separate].chunks
+        )
+    # How hard the mixed design must throttle its loudest chunk:
+    worst_chunk = max(
+        plans[False].chunks,
+        key=lambda chunk: leakage_report(
+            speaker, chunk.drive, 1.0, 0.5
+        ).margin_db,
+    )
+    cap = max_inaudible_drive(speaker, worst_chunk.drive, 0.5)
+    return (n_chunks, margins[True], margins[False], cap)
 
 
 def run(
-    quick: bool = True, seed: int = 0, command: str = "ok_google"
+    quick: bool = True,
+    seed: int = 0,
+    command: str = "ok_google",
+    jobs: int = 1,
+    engine: ExperimentEngine | None = None,
 ) -> ResultTable:
     """Leakage with and without carrier separation, per array size."""
-    rng = np.random.default_rng(seed)
-    voice = synthesize_command(command, rng)
-    speaker = ultrasonic_piezo_element()
+    voice = cached_voice(command, seed)
     counts = (4, 16) if quick else (4, 8, 16, 32, 61)
     table = ResultTable(
         title=(
@@ -39,27 +68,10 @@ def run(
             "mixed max inaudible drive",
         ],
     )
-    for n_chunks in counts:
-        margins = {}
-        for separate in (True, False):
-            splitter = SpectralSplitter(
-                n_chunks=n_chunks, separate_carrier=separate
-            )
-            plan = splitter.split(voice)
-            margins[separate] = max(
-                leakage_report(speaker, chunk.drive, 1.0, 0.5).margin_db
-                for chunk in plan.chunks
-            )
-        # How hard the mixed design must throttle its loudest chunk:
-        mixed_plan = SpectralSplitter(
-            n_chunks=n_chunks, separate_carrier=False
-        ).split(voice)
-        worst_chunk = max(
-            mixed_plan.chunks,
-            key=lambda chunk: leakage_report(
-                speaker, chunk.drive, 1.0, 0.5
-            ).margin_db,
+    with ExperimentEngine.scoped(engine, jobs) as eng:
+        rows = eng.map(
+            _carrier_row, [(count, voice) for count in counts]
         )
-        cap = max_inaudible_drive(speaker, worst_chunk.drive, 0.5)
-        table.add_row(n_chunks, margins[True], margins[False], cap)
+    for row in rows:
+        table.add_row(*row)
     return table

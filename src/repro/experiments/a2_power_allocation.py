@@ -11,18 +11,18 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.acoustics.geometry import Position
-from repro.attack.array import grid_array
-from repro.attack.attacker import LongRangeAttacker
-from repro.hardware.devices import ultrasonic_piezo_element
+from repro.experiments._emissions import ATTACKER_POSITION, array_split
+from repro.sim.engine import EmissionSpec, ExperimentEngine
 from repro.sim.results import ResultTable
 from repro.sim.scenario import Scenario, VictimDevice
-from repro.sim.sweep import attack_range_m
-from repro.speech.commands import synthesize_command
 
 
 def run(
-    quick: bool = True, seed: int = 0, command: str = "ok_google"
+    quick: bool = True,
+    seed: int = 0,
+    command: str = "ok_google",
+    jobs: int = 1,
+    engine: ExperimentEngine | None = None,
 ) -> ResultTable:
     """Attack range per allocation strategy and array size."""
     rng = np.random.default_rng(seed)
@@ -30,38 +30,35 @@ def run(
     n_trials = 2 if quick else 4
     resolution = 0.5 if quick else 0.25
     device = VictimDevice.phone(seed=seed + 1)
-    center = Position(0.0, 2.0, 1.0)
-    voice = synthesize_command(command, rng)
     scenario = Scenario(
         command=command,
-        attacker_position=center,
-        victim_position=center.translated(1.0, 0.0, 0.0),
+        attacker_position=ATTACKER_POSITION,
+        victim_position=ATTACKER_POSITION.translated(1.0, 0.0, 0.0),
     )
     table = ResultTable(
         title="A2: attack range by drive-allocation strategy",
         columns=["speakers", "strategy", "range m", "mean chunk level"],
     )
-    for n_speakers in counts:
-        array = grid_array(
-            n_speakers, center, ultrasonic_piezo_element
-        )
-        for strategy in ("uniform", "waterfill"):
-            attacker = LongRangeAttacker(
-                array, allocation_strategy=strategy
-            )
-            emission = attacker.emit(voice)
-            measured = attack_range_m(
-                scenario,
-                device,
-                list(emission.sources),
-                rng,
-                n_trials=n_trials,
-                resolution_m=resolution,
-            )
-            table.add_row(
-                n_speakers,
-                strategy,
-                measured,
-                float(np.mean(emission.allocation.chunk_levels)),
-            )
+    with ExperimentEngine.scoped(engine, jobs) as eng:
+        for n_speakers in counts:
+            for strategy in ("uniform", "waterfill"):
+                spec = EmissionSpec(
+                    array_split, (command, seed, n_speakers, strategy)
+                )
+                measured = eng.attack_range_m(
+                    scenario,
+                    device,
+                    spec,
+                    rng,
+                    n_trials=n_trials,
+                    resolution_m=resolution,
+                )
+                table.add_row(
+                    n_speakers,
+                    strategy,
+                    measured,
+                    float(
+                        np.mean(spec.emission().allocation.chunk_levels)
+                    ),
+                )
     return table

@@ -3,7 +3,8 @@
 Compares detectors restricted to the trace-power features, to the
 correlation features, and to the full vector. The paper family's
 finding: power and correlation are individually strong and complement
-each other against borderline cases.
+each other against borderline cases. Each subset's dataset/fit chain
+is one engine work unit.
 """
 
 from __future__ import annotations
@@ -13,6 +14,7 @@ import numpy as np
 from repro.defense.dataset import DatasetConfig, build_dataset
 from repro.defense.detector import InaudibleVoiceDetector
 from repro.defense.metrics import auc
+from repro.sim.engine import ExperimentEngine
 from repro.sim.results import ResultTable
 
 SUBSETS: dict[str, tuple[str, ...]] = {
@@ -31,27 +33,49 @@ SUBSETS: dict[str, tuple[str, ...]] = {
 }
 
 
-def run(quick: bool = True, seed: int = 0) -> ResultTable:
+def _subset_row(
+    task: tuple[str, tuple[str, ...], DatasetConfig, int],
+) -> tuple[str, float, float]:
+    """Worker: dataset -> fit -> AUC/accuracy for one feature subset."""
+    label, subset, config, split_seed = task
+    dataset = build_dataset(config)
+    rng = np.random.default_rng(split_seed)
+    train, test = dataset.split(0.6, rng)
+    detector = InaudibleVoiceDetector(feature_subset=subset).fit(train)
+    scores = detector.scores_for(test)
+    confusion = detector.evaluate(test)
+    return (label, auc(test.labels, scores), confusion.accuracy)
+
+
+def run(
+    quick: bool = True,
+    seed: int = 0,
+    jobs: int = 1,
+    engine: ExperimentEngine | None = None,
+) -> ResultTable:
     """Test AUC and accuracy per feature subset."""
     n_trials = 3 if quick else 8
     table = ResultTable(
         title="A3: defense feature ablation",
         columns=["features", "AUC", "accuracy"],
     )
-    for label, subset in SUBSETS.items():
-        config = DatasetConfig(
-            commands=("ok_google", "alexa"),
-            distances_m=(1.0, 2.0),
-            n_trials=n_trials,
-            attacker_kind="single_full",
-            feature_subset=subset,
-            seed=seed,
+    tasks = [
+        (
+            label,
+            subset,
+            DatasetConfig(
+                commands=("ok_google", "alexa"),
+                distances_m=(1.0, 2.0),
+                n_trials=n_trials,
+                attacker_kind="single_full",
+                feature_subset=subset,
+                seed=seed,
+            ),
+            seed + 3,
         )
-        dataset = build_dataset(config)
-        rng = np.random.default_rng(seed + 3)
-        train, test = dataset.split(0.6, rng)
-        detector = InaudibleVoiceDetector(feature_subset=subset).fit(train)
-        scores = detector.scores_for(test)
-        confusion = detector.evaluate(test)
-        table.add_row(label, auc(test.labels, scores), confusion.accuracy)
+        for label, subset in SUBSETS.items()
+    ]
+    with ExperimentEngine.scoped(engine, jobs) as eng:
+        for row in eng.map(_subset_row, tasks):
+            table.add_row(*row)
     return table

@@ -13,12 +13,12 @@ import numpy as np
 
 from repro.acoustics.channel import AcousticChannel
 from repro.acoustics.geometry import Position
-from repro.attack.attacker import SingleSpeakerAttacker
 from repro.dsp.signals import Signal
 from repro.dsp.spectrum import welch_psd
-from repro.hardware.devices import android_phone_microphone, horn_tweeter
+from repro.experiments._emissions import single_full
+from repro.hardware.devices import android_phone_microphone
+from repro.sim.engine import EmissionSpec, ExperimentEngine, cached_voice
 from repro.sim.results import ResultTable
-from repro.speech.commands import synthesize_command
 
 
 def _band_fractions_db(signal: Signal) -> tuple[float, float, float]:
@@ -43,11 +43,19 @@ def _band_fractions_db(signal: Signal) -> tuple[float, float, float]:
     )
 
 
+def _band_row(task: tuple[str, Signal]) -> tuple[str, float, float, float]:
+    """Worker: one labelled band-power summary row."""
+    label, signal = task
+    return (label, *_band_fractions_db(signal))
+
+
 def run(
     quick: bool = True,
     seed: int = 0,
     command: str = "ok_google",
     distance_m: float = 2.0,
+    jobs: int = 1,
+    engine: ExperimentEngine | None = None,
 ) -> ResultTable:
     """Generate the three signals and summarise their spectra.
 
@@ -56,11 +64,8 @@ def run(
     """
     del quick
     rng = np.random.default_rng(seed)
-    voice = synthesize_command(command, rng)
-    attacker = SingleSpeakerAttacker(
-        horn_tweeter(), Position(0.0, 2.0, 1.0)
-    )
-    emission = attacker.emit(voice, drive_level=1.0)
+    voice = cached_voice(command, seed)
+    emission = EmissionSpec(single_full, (command, seed)).emission()
     channel = AcousticChannel(room=None, ambient_noise_spl=40.0)
     arrived = channel.receive(
         list(emission.sources), Position(distance_m, 2.0, 1.0), rng
@@ -79,11 +84,12 @@ def run(
             "ultra >20 kHz",
         ],
     )
-    for label, signal in (
+    tasks = [
         ("normal voice", voice),
         ("attack ultrasound", emission.drive),
         ("mic recording", recording),
-    ):
-        voice_db, mid_db, ultra_db = _band_fractions_db(signal)
-        table.add_row(label, voice_db, mid_db, ultra_db)
+    ]
+    with ExperimentEngine.scoped(engine, jobs) as eng:
+        for row in eng.map(_band_row, tasks):
+            table.add_row(*row)
     return table

@@ -5,17 +5,38 @@ wideband speaker's drive rises, its own nonlinearity demodulates the AM
 waveform and the rig becomes audible to a bystander. Leakage SPL grows
 ~40 dB per decade of drive power (the quadratic term), crossing the
 hearing threshold far below the power needed for long range.
+
+The power points are independent, so the engine fans them out; each
+worker rebuilds the (deterministic) speaker preset locally and only
+the shared drive waveform is shipped.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.attack.leakage import leakage_report
 from repro.attack.pipeline import AttackPipeline
+from repro.dsp.signals import Signal
 from repro.hardware.devices import horn_tweeter
+from repro.sim.engine import ExperimentEngine, cached_voice
 from repro.sim.results import ResultTable
-from repro.speech.commands import synthesize_command
+
+
+def _leakage_row(
+    task: tuple[Signal, float, float],
+) -> tuple[float, float, float, float, bool]:
+    """Worker: leakage report for one drive-power fraction."""
+    drive, fraction, bystander_distance_m = task
+    speaker = horn_tweeter()
+    power = fraction * speaker.config.max_electrical_power_w
+    level = speaker.drive_level_for_power(power)
+    report = leakage_report(speaker, drive, level, bystander_distance_m)
+    return (
+        power,
+        level,
+        report.a_weighted_level_dba,
+        report.margin_db,
+        report.is_audible,
+    )
 
 
 def run(
@@ -23,13 +44,12 @@ def run(
     seed: int = 0,
     command: str = "ok_google",
     bystander_distance_m: float = 0.5,
+    jobs: int = 1,
+    engine: ExperimentEngine | None = None,
 ) -> ResultTable:
     """Sweep drive power; report leakage level and audibility margin."""
-    rng = np.random.default_rng(seed)
-    voice = synthesize_command(command, rng)
+    voice = cached_voice(command, seed)
     drive = AttackPipeline().generate(voice)
-    speaker = horn_tweeter()
-    max_power = speaker.config.max_electrical_power_w
     if quick:
         fractions = (0.01, 0.1, 0.5, 1.0)
     else:
@@ -47,17 +67,10 @@ def run(
             "audible",
         ],
     )
-    for fraction in fractions:
-        power = fraction * max_power
-        level = speaker.drive_level_for_power(power)
-        report = leakage_report(
-            speaker, drive, level, bystander_distance_m
-        )
-        table.add_row(
-            power,
-            level,
-            report.a_weighted_level_dba,
-            report.margin_db,
-            report.is_audible,
-        )
+    tasks = [
+        (drive, fraction, bystander_distance_m) for fraction in fractions
+    ]
+    with ExperimentEngine.scoped(engine, jobs) as eng:
+        for row in eng.map(_leakage_row, tasks):
+            table.add_row(*row)
     return table

@@ -7,24 +7,32 @@ Two operating modes of the baseline rig:
 * **inaudible drive** — capped by the bystander constraint, which
   collapses the useful range to arm's length. The gap between these
   two curves *is* the problem the long-range attack solves.
+
+Every (distance, mode) cell is one trial group; the engine runs them
+all in a single wave, reusing each mode's emission from the process
+cache at every distance.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.acoustics.geometry import Position
-from repro.attack.attacker import SingleSpeakerAttacker
-from repro.hardware.devices import horn_tweeter
+from repro.experiments._emissions import (
+    ATTACKER_POSITION,
+    single_full,
+    single_inaudible,
+)
+from repro.sim.engine import EmissionSpec, ExperimentEngine, TrialGroup
 from repro.sim.results import ResultTable
-from repro.sim.runner import ScenarioRunner
 from repro.sim.scenario import Scenario, VictimDevice
-from repro.sim.sweep import success_rate
-from repro.speech.commands import synthesize_command
 
 
 def run(
-    quick: bool = True, seed: int = 0, command: str = "ok_google"
+    quick: bool = True,
+    seed: int = 0,
+    command: str = "ok_google",
+    jobs: int = 1,
+    engine: ExperimentEngine | None = None,
 ) -> ResultTable:
     """Success rate by distance for both drive modes."""
     rng = np.random.default_rng(seed)
@@ -33,31 +41,30 @@ def run(
     )
     n_trials = 3 if quick else 10
     device = VictimDevice.phone(seed=seed + 1)
-    attacker_position = Position(0.0, 2.0, 1.0)
-    attacker = SingleSpeakerAttacker(horn_tweeter(), attacker_position)
     base = Scenario(
         command=command,
-        attacker_position=attacker_position,
-        victim_position=attacker_position.translated(1.0, 0.0, 0.0),
+        attacker_position=ATTACKER_POSITION,
+        victim_position=ATTACKER_POSITION.translated(1.0, 0.0, 0.0),
     )
-    voice = synthesize_command(command, rng)
-    full = attacker.emit(voice, drive_level=1.0)
-    capped = attacker.emit_inaudibly(voice)
+    full_spec = EmissionSpec(single_full, (command, seed))
+    capped_spec = EmissionSpec(single_inaudible, (command, seed))
+    capped_level = capped_spec.emission().drive_level
+    groups = []
+    for distance in distances:
+        moved = base.at_distance(distance)
+        groups.append(TrialGroup(moved, device, full_spec, n_trials))
+        groups.append(TrialGroup(moved, device, capped_spec, n_trials))
+    with ExperimentEngine.scoped(engine, jobs) as eng:
+        rates = eng.success_rates(groups, rng)
     table = ResultTable(
         title=(
             "F3: single-speaker success rate vs distance "
-            f"(inaudible cap drive = {capped.drive_level:.3f})"
+            f"(inaudible cap drive = {capped_level:.3f})"
         ),
         columns=["distance m", "full drive", "inaudible drive"],
     )
-    for distance in distances:
-        moved = base.at_distance(distance)
-        runner = ScenarioRunner(moved, device)
-        rate_full = success_rate(
-            runner, list(full.sources), n_trials, rng
+    for index, distance in enumerate(distances):
+        table.add_row(
+            distance, rates[2 * index], rates[2 * index + 1]
         )
-        rate_capped = success_rate(
-            runner, list(capped.sources), n_trials, rng
-        )
-        table.add_row(distance, rate_full, rate_capped)
     return table

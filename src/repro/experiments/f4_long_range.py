@@ -10,24 +10,32 @@ full drive and total delivered power grows with N.
 The paper's 61-element prototype reached 25 ft (~7.6 m); the
 reproduction's shape criterion is range growing monotonically with N
 and the 61-speaker point landing in the same several-metres regime.
+
+Range searches are adaptive (each probe depends on the last), so rigs
+run in sequence — but every probe's trials fan out over the engine's
+pool, and probed distances are memoised so none is measured twice.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.acoustics.geometry import Position
-from repro.attack.array import grid_array
-from repro.attack.attacker import LongRangeAttacker, SingleSpeakerAttacker
-from repro.hardware.devices import horn_tweeter, ultrasonic_piezo_element
+from repro.experiments._emissions import (
+    ATTACKER_POSITION,
+    array_split,
+    single_inaudible,
+)
+from repro.sim.engine import EmissionSpec, ExperimentEngine
 from repro.sim.results import ResultTable
 from repro.sim.scenario import Scenario, VictimDevice
-from repro.sim.sweep import attack_range_m
-from repro.speech.commands import synthesize_command
 
 
 def run(
-    quick: bool = True, seed: int = 0, command: str = "ok_google"
+    quick: bool = True,
+    seed: int = 0,
+    command: str = "ok_google",
+    jobs: int = 1,
+    engine: ExperimentEngine | None = None,
 ) -> ResultTable:
     """Measure attack range for a sweep of array sizes."""
     rng = np.random.default_rng(seed)
@@ -35,13 +43,11 @@ def run(
     n_trials = 2 if quick else 4
     resolution = 0.5 if quick else 0.25
     device = VictimDevice.phone(seed=seed + 1)
-    center = Position(0.0, 2.0, 1.0)
     scenario = Scenario(
         command=command,
-        attacker_position=center,
-        victim_position=center.translated(1.0, 0.0, 0.0),
+        attacker_position=ATTACKER_POSITION,
+        victim_position=ATTACKER_POSITION.translated(1.0, 0.0, 0.0),
     )
-    voice = synthesize_command(command, rng)
     table = ResultTable(
         title=(
             "F4: attack range vs number of speakers (all rigs "
@@ -49,32 +55,24 @@ def run(
         ),
         columns=["speakers", "rig", "range m"],
     )
-    single = SingleSpeakerAttacker(horn_tweeter(), center)
-    capped = single.emit_inaudibly(voice)
-    range_single = attack_range_m(
-        scenario,
-        device,
-        list(capped.sources),
-        rng,
-        n_trials=n_trials,
-        resolution_m=resolution,
-    )
-    table.add_row(1, "single wideband (capped)", range_single)
-    for n_speakers in speaker_counts:
-        array = grid_array(
-            n_speakers, center, ultrasonic_piezo_element
-        )
-        attacker = LongRangeAttacker(
-            array, allocation_strategy="waterfill"
-        )
-        emission = attacker.emit(voice)
-        measured = attack_range_m(
+    with ExperimentEngine.scoped(engine, jobs) as eng:
+        range_single = eng.attack_range_m(
             scenario,
             device,
-            list(emission.sources),
+            EmissionSpec(single_inaudible, (command, seed)),
             rng,
             n_trials=n_trials,
             resolution_m=resolution,
         )
-        table.add_row(n_speakers, "split array", measured)
+        table.add_row(1, "single wideband (capped)", range_single)
+        for n_speakers in speaker_counts:
+            measured = eng.attack_range_m(
+                scenario,
+                device,
+                EmissionSpec(array_split, (command, seed, n_speakers)),
+                rng,
+                n_trials=n_trials,
+                resolution_m=resolution,
+            )
+            table.add_row(n_speakers, "split array", measured)
     return table

@@ -5,26 +5,49 @@ chunk narrows, its self-intermodulation residue slides below ~100 Hz
 where both the hearing threshold and the element's radiation
 efficiency collapse — so the worst per-speaker audibility margin drops
 with N while the allocator's granted drive levels rise toward 1.
+
+Each array size is an independent work unit fanned out by the engine;
+workers ship back four numbers, not waveforms.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.attack.leakage import leakage_report
 from repro.attack.splitter import SpectralSplitter
+from repro.dsp.signals import Signal
 from repro.hardware.devices import ultrasonic_piezo_element
+from repro.sim.engine import ExperimentEngine, cached_voice
 from repro.sim.results import ResultTable
-from repro.speech.commands import synthesize_command
+
+
+def _split_row(
+    task: tuple[int, Signal],
+) -> tuple[int, float, float, int]:
+    """Worker: split the voice N ways and report chunk audibility."""
+    n_chunks, voice = task
+    speaker = ultrasonic_piezo_element()
+    plan = SpectralSplitter(n_chunks=n_chunks).split(voice)
+    margins = [
+        leakage_report(speaker, chunk.drive, 1.0, 0.5).margin_db
+        for chunk in plan.chunks
+    ]
+    return (
+        n_chunks,
+        plan.chunk_bandwidth_hz(),
+        max(margins),
+        sum(margin > 0 for margin in margins),
+    )
 
 
 def run(
-    quick: bool = True, seed: int = 0, command: str = "ok_google"
+    quick: bool = True,
+    seed: int = 0,
+    command: str = "ok_google",
+    jobs: int = 1,
+    engine: ExperimentEngine | None = None,
 ) -> ResultTable:
     """Worst-chunk leakage margin at full drive, per array size."""
-    rng = np.random.default_rng(seed)
-    voice = synthesize_command(command, rng)
-    speaker = ultrasonic_piezo_element()
+    voice = cached_voice(command, seed)
     counts = (2, 8, 32) if quick else (1, 2, 4, 8, 16, 32, 61)
     table = ResultTable(
         title=(
@@ -38,17 +61,10 @@ def run(
             "audible chunks",
         ],
     )
-    for n_chunks in counts:
-        splitter = SpectralSplitter(n_chunks=n_chunks)
-        plan = splitter.split(voice)
-        margins = []
-        for chunk in plan.chunks:
-            report = leakage_report(speaker, chunk.drive, 1.0, 0.5)
-            margins.append(report.margin_db)
-        table.add_row(
-            n_chunks,
-            plan.chunk_bandwidth_hz(),
-            max(margins),
-            sum(m > 0 for m in margins),
+    with ExperimentEngine.scoped(engine, jobs) as eng:
+        rows = eng.map(
+            _split_row, [(count, voice) for count in counts]
         )
+    for row in rows:
+        table.add_row(*row)
     return table

@@ -4,30 +4,37 @@ The phone's exposed microphone demodulates more of the arriving
 ultrasound than the Echo's plastic-covered far-field capsule, so the
 same array attacks the phone from farther away — the device ordering
 the attack literature reports consistently.
+
+Both devices' distance sweeps are submitted as one wave of trial
+groups; each device's emission is materialised once per process and
+shared by all its distances.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.acoustics.geometry import Position
-from repro.attack.array import grid_array
-from repro.attack.attacker import LongRangeAttacker
-from repro.hardware.devices import ultrasonic_piezo_element
+from repro.experiments._emissions import ATTACKER_POSITION, array_split
+from repro.sim.engine import EmissionSpec, ExperimentEngine, TrialGroup
 from repro.sim.results import ResultTable
 from repro.sim.scenario import Scenario, VictimDevice
-from repro.sim.sweep import accuracy_over_distances
-from repro.speech.commands import synthesize_command
 
 
-def run(quick: bool = True, seed: int = 0) -> ResultTable:
+def run(
+    quick: bool = True,
+    seed: int = 0,
+    jobs: int = 1,
+    engine: ExperimentEngine | None = None,
+) -> ResultTable:
     """Success vs distance for the phone and the echo device."""
     rng = np.random.default_rng(seed)
     n_speakers = 16 if quick else 32
-    distances = [1.0, 3.0, 5.0] if quick else [1.0, 2.0, 3.0, 4.0, 5.0, 6.5, 8.0]
+    distances = (
+        [1.0, 3.0, 5.0]
+        if quick
+        else [1.0, 2.0, 3.0, 4.0, 5.0, 6.5, 8.0]
+    )
     n_trials = 2 if quick else 8
-    center = Position(0.0, 2.0, 1.0)
-    array = grid_array(n_speakers, center, ultrasonic_piezo_element)
     table = ResultTable(
         title=(
             f"F6: success rate vs distance per device "
@@ -35,25 +42,30 @@ def run(quick: bool = True, seed: int = 0) -> ResultTable:
         ),
         columns=["device", "command", "distance m", "success rate"],
     )
+    groups: list[TrialGroup] = []
+    rows: list[tuple] = []
     for device, command in (
         (VictimDevice.phone(seed=seed + 1), "ok_google"),
         (VictimDevice.echo(seed=seed + 1), "alexa"),
     ):
-        voice = synthesize_command(command, rng)
-        attacker = LongRangeAttacker(array, allocation_strategy="waterfill")
-        emission = attacker.emit(voice)
+        spec = EmissionSpec(array_split, (command, seed, n_speakers))
         scenario = Scenario(
             command=command,
-            attacker_position=center,
-            victim_position=center.translated(1.0, 0.0, 0.0),
+            attacker_position=ATTACKER_POSITION,
+            victim_position=ATTACKER_POSITION.translated(1.0, 0.0, 0.0),
         )
-        for distance, rate in accuracy_over_distances(
-            scenario,
-            device,
-            list(emission.sources),
-            distances,
-            n_trials,
-            rng,
-        ):
-            table.add_row(device.name, command, distance, rate)
+        for distance in distances:
+            groups.append(
+                TrialGroup(
+                    scenario.at_distance(distance),
+                    device,
+                    spec,
+                    n_trials,
+                )
+            )
+            rows.append((device.name, command, distance))
+    with ExperimentEngine.scoped(engine, jobs) as eng:
+        rates = eng.success_rates(groups, rng)
+    for row, rate in zip(rows, rates):
+        table.add_row(*row, rate)
     return table

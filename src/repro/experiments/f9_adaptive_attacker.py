@@ -10,23 +10,25 @@ recordings, and attack success rate.
 
 The shape criterion: detection degrades gracefully as depth falls while
 attack success collapses first — the defense wins the trade.
+
+All depth sweeps run as one wave of trial groups; the detector is
+trained once in the parent process and classifies the recordings the
+workers return.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.acoustics.channel import AcousticChannel
-from repro.acoustics.geometry import Position
-from repro.attack.attacker import SingleSpeakerAttacker
-from repro.attack.pipeline import AttackPipelineConfig
 from repro.defense.dataset import DatasetConfig, build_dataset
 from repro.defense.detector import InaudibleVoiceDetector
+from repro.experiments._emissions import (
+    ATTACKER_POSITION,
+    single_at_depth,
+)
+from repro.sim.engine import EmissionSpec, ExperimentEngine, TrialGroup
 from repro.sim.results import ResultTable
-from repro.sim.runner import ScenarioRunner
 from repro.sim.scenario import Scenario, VictimDevice
-from repro.hardware.devices import horn_tweeter
-from repro.speech.commands import synthesize_command
 
 
 def run(
@@ -34,10 +36,16 @@ def run(
     seed: int = 0,
     command: str = "ok_google",
     distance_m: float = 2.0,
+    jobs: int = 1,
+    engine: ExperimentEngine | None = None,
 ) -> ResultTable:
     """Sweep modulation depth; report detection and attack success."""
     rng = np.random.default_rng(seed)
-    depths = (1.0, 0.5, 0.25) if quick else (1.0, 0.7, 0.5, 0.35, 0.25, 0.15)
+    depths = (
+        (1.0, 0.5, 0.25)
+        if quick
+        else (1.0, 0.7, 0.5, 0.35, 0.25, 0.15)
+    )
     n_trials = 3 if quick else 10
     # Train the detector once, on full-depth attacks only — the
     # adaptive attacker deviates from the training distribution.
@@ -51,14 +59,24 @@ def run(
     detector = InaudibleVoiceDetector().fit(build_dataset(train_config))
 
     device = VictimDevice.phone(seed=seed + 1)
-    position = Position(0.0, 2.0, 1.0)
     scenario = Scenario(
         command=command,
-        attacker_position=position,
-        victim_position=position.translated(distance_m, 0.0, 0.0),
+        attacker_position=ATTACKER_POSITION,
+        victim_position=ATTACKER_POSITION.translated(
+            distance_m, 0.0, 0.0
+        ),
     )
-    runner = ScenarioRunner(scenario, device)
-    voice = synthesize_command(command, rng)
+    groups = [
+        TrialGroup(
+            scenario,
+            device,
+            EmissionSpec(single_at_depth, (command, seed, depth)),
+            n_trials,
+        )
+        for depth in depths
+    ]
+    with ExperimentEngine.scoped(engine, jobs) as eng:
+        per_depth = eng.run_trial_groups(groups, rng)
     table = ResultTable(
         title=(
             "F9: adaptive attacker (modulation depth sweep) at "
@@ -71,16 +89,7 @@ def run(
             "mean det score",
         ],
     )
-    for depth in depths:
-        attacker = SingleSpeakerAttacker(
-            horn_tweeter(),
-            position,
-            AttackPipelineConfig(modulation_depth=depth),
-        )
-        emission = attacker.emit(voice, drive_level=1.0)
-        outcomes = runner.run_trials(
-            list(emission.sources), n_trials, rng
-        )
+    for depth, outcomes in zip(depths, per_depth):
         success = sum(o.success for o in outcomes) / len(outcomes)
         verdicts = [detector.classify(o.recording) for o in outcomes]
         detection = sum(v.is_attack for v in verdicts) / len(verdicts)

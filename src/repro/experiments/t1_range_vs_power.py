@@ -7,32 +7,39 @@ Range grows with power; the Echo trails the phone because of its
 covered microphone. This table deliberately *ignores* the bystander
 audibility constraint — it measures the conspicuous attack, as the
 precursor paper did.
+
+Each (device, power) range search is adaptive and therefore
+sequential, but every probe's trials run through the engine's pool
+and probed distances are memoised.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.acoustics.geometry import Position
-from repro.attack.attacker import SingleSpeakerAttacker
-from repro.hardware.devices import horn_tweeter
+from repro.experiments._emissions import (
+    ATTACKER_POSITION,
+    single_at_power,
+)
+from repro.sim.engine import EmissionSpec, ExperimentEngine
 from repro.sim.results import ResultTable
 from repro.sim.scenario import Scenario, VictimDevice
-from repro.sim.sweep import attack_range_m
-from repro.speech.commands import synthesize_command
 
 #: The drive powers of the precursor paper's Table 1, watts.
 PAPER_POWERS_W = (9.2, 11.8, 14.8, 18.7, 23.7)
 
 
-def run(quick: bool = True, seed: int = 0) -> ResultTable:
+def run(
+    quick: bool = True,
+    seed: int = 0,
+    jobs: int = 1,
+    engine: ExperimentEngine | None = None,
+) -> ResultTable:
     """Measure attack range per input power for both devices."""
     rng = np.random.default_rng(seed)
     powers = PAPER_POWERS_W[::2] if quick else PAPER_POWERS_W
     n_trials = 2 if quick else 5
     resolution = 0.5 if quick else 0.25
-    position = Position(0.0, 2.0, 1.0)
-    speaker = horn_tweeter()
     table = ResultTable(
         title="T1: attack range vs speaker input power (single speaker)",
         columns=["power W", "phone range m", "echo range m"],
@@ -42,26 +49,25 @@ def run(quick: bool = True, seed: int = 0) -> ResultTable:
         (VictimDevice.echo(seed=seed + 1), "alexa"),
     )
     ranges: dict[str, list[float]] = {"phone": [], "echo": []}
-    for device, command in configs:
-        voice = synthesize_command(command, rng)
-        attacker = SingleSpeakerAttacker(speaker, position)
-        scenario = Scenario(
-            command=command,
-            attacker_position=position,
-            victim_position=position.translated(1.0, 0.0, 0.0),
-        )
-        for power in powers:
-            level = speaker.drive_level_for_power(power)
-            emission = attacker.emit(voice, drive_level=level)
-            measured = attack_range_m(
-                scenario,
-                device,
-                list(emission.sources),
-                rng,
-                n_trials=n_trials,
-                resolution_m=resolution,
+    with ExperimentEngine.scoped(engine, jobs) as eng:
+        for device, command in configs:
+            scenario = Scenario(
+                command=command,
+                attacker_position=ATTACKER_POSITION,
+                victim_position=ATTACKER_POSITION.translated(
+                    1.0, 0.0, 0.0
+                ),
             )
-            ranges[device.name].append(measured)
+            for power in powers:
+                measured = eng.attack_range_m(
+                    scenario,
+                    device,
+                    EmissionSpec(single_at_power, (command, seed, power)),
+                    rng,
+                    n_trials=n_trials,
+                    resolution_m=resolution,
+                )
+                ranges[device.name].append(measured)
     for index, power in enumerate(powers):
         table.add_row(
             power, ranges["phone"][index], ranges["echo"][index]

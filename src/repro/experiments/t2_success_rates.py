@@ -4,30 +4,37 @@ The paper family's repeated-trial measurement: fix the rig and device,
 repeat the injection (50 times in the original), count successes.
 Reference points: ~100 % against a phone at 3 m and ~80 % against an
 Echo at 2 m for a strong rig.
+
+All four (device, rig) cells are submitted to the engine as one wave
+of trial groups, so with ``jobs >= 4`` each cell occupies its own
+worker — emission synthesis and the 50-trial repetition run
+concurrently across cells.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.acoustics.geometry import Position
-from repro.attack.array import grid_array
-from repro.attack.attacker import LongRangeAttacker, SingleSpeakerAttacker
-from repro.hardware.devices import horn_tweeter, ultrasonic_piezo_element
+from repro.experiments._emissions import (
+    ATTACKER_POSITION,
+    array_split,
+    single_full,
+)
+from repro.sim.engine import EmissionSpec, ExperimentEngine, TrialGroup
 from repro.sim.results import ResultTable
-from repro.sim.runner import ScenarioRunner
 from repro.sim.scenario import Scenario, VictimDevice
-from repro.sim.sweep import success_rate
-from repro.speech.commands import synthesize_command
 
 
-def run(quick: bool = True, seed: int = 0) -> ResultTable:
+def run(
+    quick: bool = True,
+    seed: int = 0,
+    jobs: int = 1,
+    engine: ExperimentEngine | None = None,
+) -> ResultTable:
     """Repeated-trial success for phone@3m and echo@2m."""
     rng = np.random.default_rng(seed)
     n_trials = 5 if quick else 50
     n_speakers = 32
-    center = Position(0.0, 2.0, 1.0)
-    array = grid_array(n_speakers, center, ultrasonic_piezo_element)
     table = ResultTable(
         title=f"T2: end-to-end success rates over {n_trials} trials",
         columns=["device", "command", "distance m", "rig", "success"],
@@ -36,34 +43,27 @@ def run(quick: bool = True, seed: int = 0) -> ResultTable:
         (VictimDevice.phone(seed=seed + 1), "ok_google", 3.0),
         (VictimDevice.echo(seed=seed + 1), "alexa", 2.0),
     )
+    groups: list[TrialGroup] = []
+    rows: list[tuple] = []
     for device, command, distance in cells:
-        voice = synthesize_command(command, rng)
         scenario = Scenario(
             command=command,
-            attacker_position=center,
-            victim_position=center.translated(distance, 0.0, 0.0),
+            attacker_position=ATTACKER_POSITION,
+            victim_position=ATTACKER_POSITION.translated(
+                distance, 0.0, 0.0
+            ),
         )
-        runner = ScenarioRunner(scenario, device)
-        array_attacker = LongRangeAttacker(
-            array, allocation_strategy="waterfill"
-        )
-        array_emission = array_attacker.emit(voice)
-        rate_array = success_rate(
-            runner, list(array_emission.sources), n_trials, rng
-        )
-        table.add_row(
-            device.name, command, distance, "split array", rate_array
-        )
-        single = SingleSpeakerAttacker(horn_tweeter(), center)
-        single_emission = single.emit(voice, drive_level=1.0)
-        rate_single = success_rate(
-            runner, list(single_emission.sources), n_trials, rng
-        )
-        table.add_row(
-            device.name,
-            command,
-            distance,
-            "single full drive",
-            rate_single,
-        )
+        for rig, spec in (
+            (
+                "split array",
+                EmissionSpec(array_split, (command, seed, n_speakers)),
+            ),
+            ("single full drive", EmissionSpec(single_full, (command, seed))),
+        ):
+            groups.append(TrialGroup(scenario, device, spec, n_trials))
+            rows.append((device.name, command, distance, rig))
+    with ExperimentEngine.scoped(engine, jobs) as eng:
+        rates = eng.success_rates(groups, rng)
+    for row, rate in zip(rows, rates):
+        table.add_row(*row, rate)
     return table

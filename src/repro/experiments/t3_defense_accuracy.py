@@ -8,18 +8,44 @@ what the attacker will say or from where). Rows:
 * ``held-out command`` — train on some commands, test on another;
 * ``held-out distance`` — train near, test far;
 * ``svm`` — the linear-SVM variant on the random split.
+
+The dataset is synthesised once in the parent; the four train/evaluate
+cells (small feature matrices, cheap to pickle) fan out via the engine.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.defense.dataset import DatasetConfig, build_dataset
+from repro.defense.dataset import DatasetConfig, LabeledDataset, build_dataset
 from repro.defense.detector import InaudibleVoiceDetector
+from repro.sim.engine import ExperimentEngine
 from repro.sim.results import ResultTable
 
 
-def run(quick: bool = True, seed: int = 0) -> ResultTable:
+def _split_row(
+    task: tuple[str, str, LabeledDataset, LabeledDataset],
+) -> tuple[str, str, float, float, float, int]:
+    """Worker: fit and evaluate one (split, model) cell."""
+    split_name, model, train, test = task
+    detector = InaudibleVoiceDetector(model=model).fit(train)
+    confusion = detector.evaluate(test)
+    return (
+        split_name,
+        model,
+        confusion.accuracy,
+        confusion.true_positive_rate,
+        confusion.false_positive_rate,
+        confusion.total,
+    )
+
+
+def run(
+    quick: bool = True,
+    seed: int = 0,
+    jobs: int = 1,
+    engine: ExperimentEngine | None = None,
+) -> ResultTable:
     """Accuracy/TPR/FPR for each generalisation split."""
     n_trials = 3 if quick else 8
     config = DatasetConfig(
@@ -36,22 +62,7 @@ def run(quick: bool = True, seed: int = 0) -> ResultTable:
         columns=["split", "model", "accuracy", "TPR", "FPR", "n test"],
     )
 
-    def add(split_name: str, model: str, train, test) -> None:
-        detector = InaudibleVoiceDetector(model=model).fit(train)
-        confusion = detector.evaluate(test)
-        table.add_row(
-            split_name,
-            model,
-            confusion.accuracy,
-            confusion.true_positive_rate,
-            confusion.false_positive_rate,
-            confusion.total,
-        )
-
     train, test = dataset.split(0.6, rng)
-    add("random", "logistic", train, test)
-    add("random", "svm", train, test)
-
     held_command = "add_milk"
     train_cmd = dataset.filter(
         lambda meta: meta["command"] != held_command
@@ -59,9 +70,20 @@ def run(quick: bool = True, seed: int = 0) -> ResultTable:
     test_cmd = dataset.filter(
         lambda meta: meta["command"] == held_command
     )
-    add(f"held-out command ({held_command})", "logistic", train_cmd, test_cmd)
-
     train_near = dataset.filter(lambda meta: meta["distance_m"] < 3.0)
     test_far = dataset.filter(lambda meta: meta["distance_m"] >= 3.0)
-    add("held-out distance (3 m)", "logistic", train_near, test_far)
+    tasks = [
+        ("random", "logistic", train, test),
+        ("random", "svm", train, test),
+        (
+            f"held-out command ({held_command})",
+            "logistic",
+            train_cmd,
+            test_cmd,
+        ),
+        ("held-out distance (3 m)", "logistic", train_near, test_far),
+    ]
+    with ExperimentEngine.scoped(engine, jobs) as eng:
+        for row in eng.map(_split_row, tasks):
+            table.add_row(*row)
     return table

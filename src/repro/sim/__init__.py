@@ -6,9 +6,13 @@
 ``runner``
     Executes a scenario: generate -> radiate -> propagate -> record ->
     recognise, returning per-trial outcomes.
+``engine``
+    Parallel cached execution: fans trial groups over a process pool
+    with ``SeedSequence``-spawned per-trial streams (bit-identical for
+    any ``jobs``) and a per-process emission/synthesis cache.
 ``sweep``
     Parameter sweeps (distance, power, speaker count) built on the
-    runner, with emission caching so sweeps stay tractable.
+    engine, with emission caching so sweeps stay tractable.
 ``results``
     Small result-table containers with aligned-text rendering used by
     the benchmarks and EXPERIMENTS.md.
@@ -16,6 +20,16 @@
 
 from repro.sim.scenario import Scenario, VictimDevice
 from repro.sim.runner import ScenarioRunner, TrialOutcome
+from repro.sim.engine import (
+    EmissionCache,
+    EmissionSpec,
+    ExperimentEngine,
+    TrialGroup,
+    attack_range_search,
+    cached_voice,
+    process_cache,
+    stable_key,
+)
 from repro.sim.sweep import (
     accuracy_over_distances,
     attack_range_m,
@@ -28,6 +42,14 @@ __all__ = [
     "VictimDevice",
     "ScenarioRunner",
     "TrialOutcome",
+    "EmissionCache",
+    "EmissionSpec",
+    "ExperimentEngine",
+    "TrialGroup",
+    "attack_range_search",
+    "cached_voice",
+    "process_cache",
+    "stable_key",
     "success_rate",
     "accuracy_over_distances",
     "attack_range_m",

@@ -1,0 +1,544 @@
+"""Parallel, cached experiment execution.
+
+Every experiment in this repository decomposes into *trial groups*: a
+(scenario, device, emission, n_trials) cell whose trials differ only in
+their noise draws. Three observations make the whole suite scale:
+
+1. **Trials are embarrassingly parallel** once each trial owns an
+   independent random stream. :class:`ExperimentEngine` derives
+   per-trial generators with :meth:`numpy.random.Generator.spawn`
+   (i.e. ``SeedSequence.spawn``) *before* scheduling, so the results
+   are bit-identical for any ``jobs`` value — parallelism never
+   changes the science, only the wall clock.
+2. **Emissions are expensive, deterministic and large.** A 32-element
+   array emission takes ~1 s to synthesise and ~45 MB to pickle, so
+   shipping waveforms to workers would drown the pool in IPC. Instead
+   work units carry an :class:`EmissionSpec` — a module-level builder
+   plus picklable arguments — and every process materialises it at
+   most once through a local :class:`EmissionCache`.
+3. **The serial path is the degenerate case.** With ``jobs=1`` the
+   engine runs every task in-process with no executor, identical code
+   path, identical numbers.
+
+The engine is the substrate under :mod:`repro.sim.sweep`, all the
+``repro.experiments`` modules and the ``python -m repro.experiments``
+CLI (``--jobs``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.acoustics.channel import PlacedSource
+from repro.dsp.signals import Signal
+from repro.errors import ExperimentError
+from repro.sim.runner import ScenarioRunner, TrialOutcome
+from repro.sim.scenario import Scenario, VictimDevice
+from repro.speech.commands import synthesize_command
+
+
+def stable_key(*parts: Any) -> str:
+    """A stable hex digest of heterogeneous, ``repr``-able key parts.
+
+    Used to key the emission cache by command + attacker
+    configuration; stable across processes (unlike ``hash``, which is
+    salted per interpreter for strings).
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(repr(part).encode())
+        digest.update(b"\x1f")
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction accounting for an :class:`EmissionCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+
+class EmissionCache:
+    """Process-local LRU cache for expensive deterministic artefacts.
+
+    Stores synthesised voices and attacker emissions keyed by
+    :func:`stable_key` digests. Entries can be tens of MB (full array
+    emissions), so the cache is bounded by *entry count*: within one
+    experiment every lookup hits, while a long ``all`` run cannot
+    accumulate every emission it ever built.
+    """
+
+    def __init__(self, max_entries: int = 16) -> None:
+        if max_entries < 1:
+            raise ExperimentError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get_or_compute(self, key: str, factory: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing it on miss."""
+        if key in self._entries:
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self.stats.misses += 1
+        value = factory()
+        self._entries[key] = value
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry and reset the statistics."""
+        self._entries.clear()
+        self.stats = CacheStats()
+
+
+#: The per-process cache. Workers forked from a warm parent inherit
+#: its entries for free; workers that miss recompute once and keep the
+#: result for every later task they execute.
+_PROCESS_CACHE = EmissionCache()
+
+
+def process_cache() -> EmissionCache:
+    """The calling process's emission/synthesis cache."""
+    return _PROCESS_CACHE
+
+
+def cached_voice(command: str, seed: int) -> Signal:
+    """Synthesise ``command`` from a fresh ``default_rng(seed)``, cached.
+
+    Keying synthesis by ``(command, seed)`` instead of an ambient
+    generator state is what makes voices shareable across experiments,
+    distances and worker processes.
+    """
+    return _PROCESS_CACHE.get_or_compute(
+        stable_key("voice", command, seed),
+        lambda: synthesize_command(command, np.random.default_rng(seed)),
+    )
+
+
+@dataclass(frozen=True)
+class EmissionSpec:
+    """A picklable recipe for an attacker emission.
+
+    ``builder`` must be a module-level callable (pickled by reference)
+    and ``args`` must be cheaply picklable; the multi-megabyte
+    waveforms it produces stay inside whichever process materialises
+    them. The build result is cached under a key derived from the
+    builder's qualified name and arguments — a stable hash of command
+    + attacker configuration.
+    """
+
+    builder: Callable[..., Any]
+    args: tuple = ()
+
+    @property
+    def key(self) -> str:
+        return stable_key(
+            self.builder.__module__,
+            self.builder.__qualname__,
+            self.args,
+        )
+
+    def emission(self) -> Any:
+        """The built emission object, from the process cache."""
+        return _PROCESS_CACHE.get_or_compute(
+            self.key, lambda: self.builder(*self.args)
+        )
+
+    def sources(self) -> tuple[PlacedSource, ...]:
+        """The emission's placed sources, materialising on demand."""
+        emission = self.emission()
+        if isinstance(emission, (tuple, list)):
+            return tuple(emission)
+        return tuple(emission.sources)
+
+
+@dataclass(frozen=True)
+class TrialGroup:
+    """One (scenario, device, emission, n_trials) work unit.
+
+    ``emission`` is either an :class:`EmissionSpec` (preferred: tiny
+    pickles, per-process caching) or a concrete sequence of
+    :class:`PlacedSource` (back-compat with callers that already built
+    their waveforms).
+    """
+
+    scenario: Scenario
+    device: VictimDevice
+    emission: EmissionSpec | Sequence[PlacedSource]
+    n_trials: int
+
+    def resolve_sources(self) -> list[PlacedSource]:
+        if isinstance(self.emission, EmissionSpec):
+            return list(self.emission.sources())
+        return list(self.emission)
+
+
+def _run_trial_batch(
+    task: tuple[TrialGroup, tuple[np.random.Generator, ...], bool],
+) -> list[TrialOutcome]:
+    """Worker: execute one batch of a group's trials.
+
+    Module-level so it pickles by reference; the emission is resolved
+    here, inside the executing process, through its cache. When the
+    caller only wants success statistics, ``keep_recordings=False``
+    drops each outcome's device-rate waveform *before* it is pickled
+    back — at 50 trials per cell the recordings, not the results, are
+    the dominant IPC cost.
+    """
+    group, rngs, keep_recordings = task
+    runner = ScenarioRunner(group.scenario, group.device)
+    sources = group.resolve_sources()
+    outcomes = [runner.run_trial(sources, rng) for rng in rngs]
+    if not keep_recordings:
+        outcomes = [
+            replace(outcome, recording=None) for outcome in outcomes
+        ]
+    return outcomes
+
+
+def _spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """``n`` independent child generators, in deterministic order."""
+    try:
+        return rng.spawn(n)
+    except TypeError as error:  # generator without a SeedSequence
+        raise ExperimentError(
+            "the engine needs a seeded generator (np.random.default_rng) "
+            f"to derive reproducible per-trial streams: {error}"
+        ) from error
+
+
+def _partition(items: Sequence, n_parts: int) -> list[list]:
+    """Split into at most ``n_parts`` contiguous, near-equal chunks."""
+    n_parts = max(1, min(n_parts, len(items)))
+    base, extra = divmod(len(items), n_parts)
+    chunks, start = [], 0
+    for index in range(n_parts):
+        size = base + (1 if index < extra else 0)
+        chunks.append(list(items[start : start + size]))
+        start += size
+    return chunks
+
+
+def attack_range_search(
+    works: Callable[[float], bool],
+    max_distance_m: float = 16.0,
+    resolution_m: float = 0.25,
+) -> float:
+    """Ladder/double/bisect search for the furthest working distance.
+
+    ``works`` is evaluated **at most once per distance** — probes are
+    memoised, so the doubling phase's terminal point is never re-run
+    by the bisection (each probe costs ``n_trials`` full simulation
+    trials). The search shape mirrors the physics: powerful arrays
+    have a near-field dead zone (ADC overload), so the ladder finds a
+    working start, doubling finds the far edge, bisection refines it.
+    Returns 0.0 when no ladder probe works and ``max_distance_m`` when
+    the attack never fails inside the probed range.
+    """
+    if not resolution_m > 0:  # also rejects NaN
+        raise ExperimentError(
+            f"resolution_m must be > 0, got {resolution_m}"
+        )
+    if not max_distance_m > 0:
+        raise ExperimentError(
+            f"max_distance_m must be > 0, got {max_distance_m}"
+        )
+    memo: dict[float, bool] = {}
+
+    def probe(distance: float) -> bool:
+        if distance not in memo:
+            memo[distance] = works(distance)
+        return memo[distance]
+
+    low = None
+    for start in (3.0, 2.0, 1.0, 0.5, 0.25):
+        if start > max_distance_m:
+            continue
+        if probe(start):
+            low = start
+            break
+    if low is None:
+        return 0.0
+    high = low
+    while high < max_distance_m:
+        high = min(high * 2.0, max_distance_m)
+        if not probe(high):
+            break
+    else:
+        return max_distance_m
+    # Invariant: probe(low), not probe(high).
+    while high - low > resolution_m:
+        mid = 0.5 * (low + high)
+        if probe(mid):
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+class ExperimentEngine:
+    """Schedules trial groups over a process pool, reproducibly.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; ``None`` means ``os.cpu_count()``.
+        ``jobs=1`` is the serial degenerate case: no pool, no pickling,
+        same numbers. Results are bit-identical for every value.
+
+    The engine owns at most one :class:`ProcessPoolExecutor`, created
+    lazily on first parallel use and reused across calls (and across
+    experiments, when the CLI shares one engine), so pool start-up is
+    paid once per run rather than once per sweep point.
+    """
+
+    def __init__(self, jobs: int | None = None) -> None:
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if isinstance(jobs, bool) or not isinstance(jobs, int):
+            raise ExperimentError(
+                f"jobs must be a positive integer or None, got {jobs!r}"
+            )
+        if jobs < 1:
+            raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self._pool: ProcessPoolExecutor | None = None
+
+    # -- lifecycle ----------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ExperimentEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @classmethod
+    def scoped(
+        cls, engine: "ExperimentEngine | None", jobs: int | None
+    ) -> "_ScopedEngine":
+        """Context manager yielding ``engine`` or a fresh one.
+
+        Experiments use this so a caller-supplied engine (the CLI's
+        shared pool) is borrowed, while a locally created one is closed
+        on exit. **Precedence:** a non-``None`` ``engine`` always wins
+        and ``jobs`` is ignored — ``jobs`` only configures the engine
+        created when none is supplied. (The CLI relies on this: it
+        passes its shared pool while every experiment's ``jobs``
+        parameter sits at its default.)
+        """
+        return _ScopedEngine(engine, jobs)
+
+    def _executor(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    # -- generic fan-out ----------------------------------------------
+
+    def map(self, fn: Callable, tasks: Sequence) -> list:
+        """Order-preserving map, in-process when serial or trivial."""
+        tasks = list(tasks)
+        if self.jobs == 1 or len(tasks) <= 1:
+            return [fn(task) for task in tasks]
+        return list(self._executor().map(fn, tasks))
+
+    # -- trial execution ----------------------------------------------
+
+    def run_trial_groups(
+        self,
+        groups: Sequence[TrialGroup],
+        rng: np.random.Generator,
+        keep_recordings: bool = True,
+    ) -> list[list[TrialOutcome]]:
+        """Execute every group's trials, fanned out together.
+
+        Per-group generators are spawned from ``rng`` in group order
+        and per-trial generators from each group's child, *before* any
+        scheduling — so outcomes depend only on ``rng`` and the group
+        list, never on ``jobs``. Submitting all groups in one wave
+        (rather than group-by-group) is what lets a 4-cell experiment
+        such as T2 occupy 4 workers end to end.
+
+        ``keep_recordings=False`` nulls each outcome's ``recording``
+        (identically at every ``jobs`` value) so success-rate waves do
+        not pickle waveforms back from the pool.
+        """
+        groups = list(groups)
+        if not groups:
+            raise ExperimentError("run_trial_groups needs >= 1 group")
+        for group in groups:
+            if group.n_trials < 1:
+                raise ExperimentError(
+                    f"n_trials must be >= 1, got {group.n_trials}"
+                )
+        # Coarse batches keep emission materialisation local: with
+        # groups >= jobs each group stays on one worker, so its
+        # emission is built exactly once in the whole pool.
+        batches_per_group = max(1, self.jobs // len(groups))
+        tasks: list[tuple[TrialGroup, tuple]] = []
+        spans: list[int] = []
+        for group, group_rng in zip(groups, _spawn(rng, len(groups))):
+            trial_rngs = _spawn(group_rng, group.n_trials)
+            batches = _partition(trial_rngs, batches_per_group)
+            spans.append(len(batches))
+            tasks.extend(
+                (group, tuple(batch), keep_recordings)
+                for batch in batches
+            )
+        flat = self.map(_run_trial_batch, tasks)
+        results: list[list[TrialOutcome]] = []
+        cursor = 0
+        for span in spans:
+            outcomes: list[TrialOutcome] = []
+            for batch in flat[cursor : cursor + span]:
+                outcomes.extend(batch)
+            cursor += span
+            results.append(outcomes)
+        return results
+
+    def run_trials(
+        self,
+        scenario: Scenario,
+        device: VictimDevice,
+        emission: EmissionSpec | Sequence[PlacedSource],
+        n_trials: int,
+        rng: np.random.Generator,
+    ) -> list[TrialOutcome]:
+        """Trials of a single group (see :meth:`run_trial_groups`)."""
+        group = TrialGroup(scenario, device, emission, n_trials)
+        return self.run_trial_groups([group], rng)[0]
+
+    def success_rate(
+        self,
+        scenario: Scenario,
+        device: VictimDevice,
+        emission: EmissionSpec | Sequence[PlacedSource],
+        n_trials: int,
+        rng: np.random.Generator,
+    ) -> float:
+        """Fraction of successful trials for one group."""
+        group = TrialGroup(scenario, device, emission, n_trials)
+        return self.success_rates([group], rng)[0]
+
+    def success_rates(
+        self,
+        groups: Sequence[TrialGroup],
+        rng: np.random.Generator,
+    ) -> list[float]:
+        """Per-group success fractions, all groups fanned out at once.
+
+        Recordings are dropped worker-side (only booleans come home).
+        """
+        return [
+            sum(o.success for o in outcomes) / len(outcomes)
+            for outcomes in self.run_trial_groups(
+                groups, rng, keep_recordings=False
+            )
+        ]
+
+    # -- sweeps -------------------------------------------------------
+
+    def accuracy_over_distances(
+        self,
+        scenario: Scenario,
+        device: VictimDevice,
+        emission: EmissionSpec | Sequence[PlacedSource],
+        distances_m: Sequence[float],
+        n_trials: int,
+        rng: np.random.Generator,
+    ) -> list[tuple[float, float]]:
+        """Success rate at each distance, one emission shared by all.
+
+        Returns ``[(distance, success_rate), ...]`` in input order.
+        """
+        if not distances_m:
+            raise ExperimentError("distances_m must not be empty")
+        groups = [
+            TrialGroup(
+                scenario.at_distance(distance), device, emission, n_trials
+            )
+            for distance in distances_m
+        ]
+        rates = self.success_rates(groups, rng)
+        return list(zip(distances_m, rates))
+
+    def attack_range_m(
+        self,
+        scenario: Scenario,
+        device: VictimDevice,
+        emission: EmissionSpec | Sequence[PlacedSource],
+        rng: np.random.Generator,
+        n_trials: int = 3,
+        success_threshold: float = 0.5,
+        max_distance_m: float = 16.0,
+        resolution_m: float = 0.25,
+    ) -> float:
+        """Furthest distance at which the attack still succeeds.
+
+        The adaptive search runs through :func:`attack_range_search`,
+        so no distance is ever measured twice; each probe's trials are
+        parallelised across the pool.
+        """
+        if not 0 < success_threshold <= 1:
+            raise ExperimentError(
+                "success_threshold must be in (0, 1], got "
+                f"{success_threshold}"
+            )
+
+        def works(distance: float) -> bool:
+            moved = scenario.at_distance(distance)
+            rate = self.success_rate(
+                moved, device, emission, n_trials, rng
+            )
+            return rate >= success_threshold
+
+        return attack_range_search(works, max_distance_m, resolution_m)
+
+
+class _ScopedEngine:
+    """Borrow a caller's engine or own a temporary one."""
+
+    def __init__(
+        self, engine: ExperimentEngine | None, jobs: int | None
+    ) -> None:
+        self._borrowed = engine
+        self._jobs = jobs
+        self._owned: ExperimentEngine | None = None
+
+    def __enter__(self) -> ExperimentEngine:
+        if self._borrowed is not None:
+            return self._borrowed
+        self._owned = ExperimentEngine(jobs=self._jobs)
+        return self._owned
+
+    def __exit__(self, *exc_info) -> None:
+        if self._owned is not None:
+            self._owned.close()
+            self._owned = None

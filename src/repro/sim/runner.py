@@ -35,14 +35,17 @@ class TrialOutcome:
     distance:
         DTW distance of the best match.
     recording:
-        The device-rate recording (kept for defense experiments).
+        The device-rate recording (kept for defense experiments;
+        ``None`` when the engine ran with ``keep_recordings=False``
+        so success-rate waves don't ship waveforms between
+        processes).
     """
 
     success: bool
     recognized_command: str
     accepted: bool
     distance: float
-    recording: Signal
+    recording: Signal | None
 
 
 class ScenarioRunner:

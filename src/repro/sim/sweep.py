@@ -3,6 +3,13 @@
 All sweeps reuse one emission across trial repetitions and distances —
 the attack waveform does not depend on where the victim stands — which
 keeps multi-point sweeps tractable.
+
+These functions are thin wrappers over
+:class:`repro.sim.engine.ExperimentEngine`: pass ``engine=`` to fan
+trials out over a worker pool, or leave it unset for the serial
+degenerate case. Either way, per-trial random streams are spawned from
+``rng`` (``SeedSequence.spawn``) in a fixed order, so results are
+identical for every ``jobs`` value.
 """
 
 from __future__ import annotations
@@ -10,107 +17,75 @@ from __future__ import annotations
 import numpy as np
 
 from repro.acoustics.channel import PlacedSource
+from repro.sim.engine import EmissionSpec, ExperimentEngine
 from repro.sim.runner import ScenarioRunner
 from repro.sim.scenario import Scenario, VictimDevice
-from repro.errors import ExperimentError
+
+
+def _engine(engine: ExperimentEngine | None) -> ExperimentEngine:
+    return engine if engine is not None else ExperimentEngine(jobs=1)
 
 
 def success_rate(
     runner: ScenarioRunner,
-    sources: list[PlacedSource],
+    sources: list[PlacedSource] | EmissionSpec,
     n_trials: int,
     rng: np.random.Generator,
+    engine: ExperimentEngine | None = None,
 ) -> float:
     """Fraction of successful trials for fixed emissions."""
-    outcomes = runner.run_trials(sources, n_trials, rng)
-    return sum(o.success for o in outcomes) / len(outcomes)
+    return _engine(engine).success_rate(
+        runner.scenario, runner.device, sources, n_trials, rng
+    )
 
 
 def accuracy_over_distances(
     scenario: Scenario,
     device: VictimDevice,
-    sources: list[PlacedSource],
+    sources: list[PlacedSource] | EmissionSpec,
     distances_m: list[float],
     n_trials: int,
     rng: np.random.Generator,
+    engine: ExperimentEngine | None = None,
 ) -> list[tuple[float, float]]:
     """Success rate at each distance, reusing one emission.
 
     Returns ``[(distance, success_rate), ...]`` in the given order.
     """
-    if not distances_m:
-        raise ExperimentError("distances_m must not be empty")
-    results = []
-    for distance in distances_m:
-        moved = scenario.at_distance(distance)
-        runner = ScenarioRunner(moved, device)
-        results.append(
-            (distance, success_rate(runner, sources, n_trials, rng))
-        )
-    return results
+    return _engine(engine).accuracy_over_distances(
+        scenario, device, sources, distances_m, n_trials, rng
+    )
 
 
 def attack_range_m(
     scenario: Scenario,
     device: VictimDevice,
-    sources: list[PlacedSource],
+    sources: list[PlacedSource] | EmissionSpec,
     rng: np.random.Generator,
     n_trials: int = 3,
     success_threshold: float = 0.5,
     max_distance_m: float = 16.0,
     resolution_m: float = 0.25,
+    engine: ExperimentEngine | None = None,
 ) -> float:
     """Furthest distance at which the attack still succeeds.
 
     Powerful arrays have a *minimum* working distance as well as a
     maximum: point blank, the summed ultrasonic pressure overloads the
     microphone's ADC and the clipped recording is unrecognisable. The
-    search therefore first probes a ladder of starting distances for
-    one that works, then doubles outward to find a failing distance,
-    then bisects the far edge down to ``resolution_m``. Returns 0.0
-    when no starting probe works and ``max_distance_m`` when the
-    attack never fails within the probed range.
+    search (see :func:`repro.sim.engine.attack_range_search`) probes a
+    ladder of starting distances, doubles outward to bracket the far
+    edge, then bisects down to ``resolution_m`` — and never measures
+    the same distance twice. Returns 0.0 when no starting probe works
+    and ``max_distance_m`` when the attack never fails within range.
     """
-    if not 0 < success_threshold <= 1:
-        raise ExperimentError(
-            f"success_threshold must be in (0, 1], got {success_threshold}"
-        )
-
-    def works(distance: float) -> bool:
-        moved = scenario.at_distance(distance)
-        runner = ScenarioRunner(moved, device)
-        return (
-            success_rate(runner, sources, n_trials, rng)
-            >= success_threshold
-        )
-
-    # Probe far-side first: powerful arrays have a near-field dead
-    # zone (microphone overload), so starting at the farthest working
-    # ladder point keeps the doubling search on the monotonic far
-    # slope of the coverage region.
-    low = None
-    for probe in (3.0, 2.0, 1.0, 0.5, 0.25):
-        if probe > max_distance_m:
-            continue
-        if works(probe):
-            low = probe
-            break
-    if low is None:
-        return 0.0
-    high = low
-    while high < max_distance_m:
-        high = min(high * 2.0, max_distance_m)
-        if not works(high):
-            break
-    else:
-        return max_distance_m
-    if high >= max_distance_m and works(max_distance_m):
-        return max_distance_m
-    # Invariant: works(low), not works(high).
-    while high - low > resolution_m:
-        mid = 0.5 * (low + high)
-        if works(mid):
-            low = mid
-        else:
-            high = mid
-    return low
+    return _engine(engine).attack_range_m(
+        scenario,
+        device,
+        sources,
+        rng,
+        n_trials=n_trials,
+        success_threshold=success_threshold,
+        max_distance_m=max_distance_m,
+        resolution_m=resolution_m,
+    )

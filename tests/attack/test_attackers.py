@@ -1,6 +1,5 @@
 """Unit tests for the attacker orchestration classes."""
 
-import numpy as np
 import pytest
 
 from repro.acoustics.geometry import Position

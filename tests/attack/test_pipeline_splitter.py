@@ -53,7 +53,6 @@ class TestPipeline:
     def test_square_law_recovers_command(self, ok_google_voice):
         from repro.dsp.measures import residual_snr_db
         from repro.dsp.modulation import am_demodulate_square_law
-        from repro.dsp.resample import resample
 
         pipeline = AttackPipeline()
         drive = pipeline.generate(ok_google_voice)

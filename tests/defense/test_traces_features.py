@@ -9,7 +9,7 @@ from repro.defense.features import (
     features_from_analysis,
 )
 from repro.defense.traces import analyze_traces, band_envelope
-from repro.dsp.signals import Signal, multi_tone, tone, white_noise
+from repro.dsp.signals import Signal, tone, white_noise
 from repro.errors import DefenseError
 
 

@@ -1,7 +1,6 @@
 """Tests for the calibrated device presets and their orderings."""
 
 import numpy as np
-import pytest
 
 from repro.acoustics.spl import spl_to_pressure
 from repro.dsp.modulation import am_modulate

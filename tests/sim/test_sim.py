@@ -1,6 +1,5 @@
 """Unit tests for the sim package (scenario, runner, sweep, results)."""
 
-import numpy as np
 import pytest
 
 from repro.acoustics.geometry import Position, Room

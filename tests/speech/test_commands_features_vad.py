@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.dsp.signals import silence, tone, white_noise
+from repro.dsp.signals import silence, tone
 from repro.speech.commands import (
     COMMAND_CORPUS,
     get_command,

@@ -178,3 +178,12 @@ class TestCli:
     def test_parser_flags(self):
         args = build_parser().parse_args(["F2", "--full", "--seed", "7"])
         assert args.full and args.seed == 7
+        assert args.jobs is None  # default: engine picks cpu count
+
+    def test_parser_jobs_flag(self):
+        args = build_parser().parse_args(["T2", "--jobs", "4"])
+        assert args.jobs == 4
+
+    def test_invalid_jobs_is_a_clean_cli_error(self, capsys):
+        assert main(["F1", "--jobs", "0"]) == 2
+        assert "jobs must be >= 1" in capsys.readouterr().err
