@@ -1,0 +1,182 @@
+"""Benchmark the vectorized batch trial kernel against the scalar path.
+
+Measures ``ExperimentEngine.run_trial_groups`` with ``batch=True``
+versus ``batch=False`` on the trial-heavy workloads the suite actually
+runs — T2-class success-rate cells (32-speaker split array and single
+full drive) and an F8-class defense feature batch — verifying on the
+way that both modes produce identical outcomes.
+
+Run as a script::
+
+    python benchmarks/bench_batch_kernel.py --quick   # CI smoke
+    python benchmarks/bench_batch_kernel.py           # paper numbers
+
+Quick mode uses few trials and asserts batch throughput is at least
+scalar throughput; full mode uses the paper's 50-trial repetition,
+where the kernel's one-transmission-per-group structure pays off
+hardest, and is the source of the speedups recorded in EXPERIMENTS.md.
+Exits non-zero if the batch kernel is slower than the scalar loop or
+if the two modes disagree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.defense.features import feature_matrix, feature_vector
+from repro.experiments._emissions import (
+    ATTACKER_POSITION,
+    array_split,
+    single_full,
+)
+from repro.sim.engine import EmissionSpec, ExperimentEngine, TrialGroup
+from repro.sim.results import ResultTable
+from repro.sim.scenario import Scenario, VictimDevice
+
+
+def _trial_workloads(quick: bool, seed: int) -> list[tuple[str, TrialGroup]]:
+    n_trials = 10 if quick else 50
+    phone = VictimDevice.phone(seed=seed + 1)
+    scenario = Scenario(
+        command="ok_google",
+        attacker_position=ATTACKER_POSITION,
+        victim_position=ATTACKER_POSITION.translated(3.0, 0.0, 0.0),
+    )
+    return [
+        (
+            f"T2 split array ({n_trials} trials)",
+            TrialGroup(
+                scenario,
+                phone,
+                EmissionSpec(array_split, ("ok_google", seed, 32)),
+                n_trials,
+            ),
+        ),
+        (
+            f"T2 single full drive ({n_trials} trials)",
+            TrialGroup(
+                scenario,
+                phone,
+                EmissionSpec(single_full, ("ok_google", seed)),
+                n_trials,
+            ),
+        ),
+    ]
+
+
+def _outcomes_equal(a, b) -> bool:
+    return len(a) == len(b) and all(
+        x.success == y.success
+        and x.recognized_command == y.recognized_command
+        and x.distance == y.distance
+        for x, y in zip(a, b)
+    )
+
+
+def bench_trial_groups(
+    table: ResultTable, quick: bool, seed: int
+) -> bool:
+    """Scalar-vs-batch timing per trial group; returns agreement."""
+    agree = True
+    for name, group in _trial_workloads(quick, seed):
+        group.resolve_sources()  # warm the emission cache for both modes
+        timings = {}
+        outcomes = {}
+        for mode in (False, True):
+            engine = ExperimentEngine(jobs=1, batch=mode)
+            started = time.perf_counter()
+            outcomes[mode] = engine.run_trial_groups(
+                [group], np.random.default_rng(seed), keep_recordings=False
+            )[0]
+            timings[mode] = time.perf_counter() - started
+        agree &= _outcomes_equal(outcomes[False], outcomes[True])
+        table.add_row(
+            name,
+            timings[False],
+            timings[True],
+            timings[False] / timings[True],
+        )
+    return agree
+
+
+def bench_feature_batch(table: ResultTable, quick: bool, seed: int) -> bool:
+    """F8-class defense feature extraction, scalar loop vs batched."""
+    n_recordings = 8 if quick else 40
+    rng = np.random.default_rng(seed)
+    group = _trial_workloads(quick=True, seed=seed)[1][1]
+    engine = ExperimentEngine(jobs=1)
+    outcomes = engine.run_trial_groups(
+        [TrialGroup(group.scenario, group.device, group.emission, n_recordings)],
+        rng,
+    )[0]
+    recordings = [outcome.recording for outcome in outcomes]
+    started = time.perf_counter()
+    scalar = np.stack([feature_vector(r) for r in recordings])
+    scalar_s = time.perf_counter() - started
+    started = time.perf_counter()
+    batched = feature_matrix(recordings)
+    batch_s = time.perf_counter() - started
+    table.add_row(
+        f"F8 feature extraction ({n_recordings} recordings)",
+        scalar_s,
+        batch_s,
+        scalar_s / batch_s,
+    )
+    return bool(np.array_equal(scalar, batched))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="scalar vs batched trial kernel throughput"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workloads and a >= 1x assertion (CI smoke)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    table = ResultTable(
+        title="batch kernel: scalar vs vectorized (single worker)",
+        columns=["workload", "scalar s", "batch s", "speedup"],
+    )
+    agree = bench_trial_groups(table, args.quick, args.seed)
+    agree &= bench_feature_batch(table, args.quick, args.seed)
+    print(table.render())
+    if not agree:
+        print("FAIL: batch and scalar outcomes disagree", file=sys.stderr)
+        return 1
+    speedups = table.column("speedup")
+    # Gate on the trial-heavy split-array workload only: its margin is
+    # several-fold, so the assertion survives noisy shared CI runners,
+    # while the thin-margin workloads (single-speaker, features) are
+    # reported but cannot flake the build on a scheduler hiccup.
+    gated = speedups[0]
+    if gated < 1.0:
+        print(
+            f"FAIL: batch slower than scalar on the trial-heavy "
+            f"workload ({gated:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    if not args.quick and gated < 3.0:
+        print(
+            f"FAIL: expected >= 3x on the trial-heavy workload, got "
+            f"{gated:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"ok: trial-heavy speedup {gated:.2f}x "
+        f"(all: {', '.join(f'{s:.2f}x' for s in speedups)})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,7 @@ import numpy as np
 from repro.acoustics.geometry import Position, Room
 from repro.acoustics.propagation import PropagationModel
 from repro.acoustics.room import ImageSourceRoomModel
-from repro.dsp.signals import Signal, Unit, mix, white_noise
+from repro.dsp.signals import Signal, SignalBatch, Unit, mix, white_noise
 from repro.errors import GeometryError, SignalDomainError
 
 
@@ -78,21 +78,7 @@ class AcousticChannel:
             Random generator for the ambient noise. Required when
             ``ambient_noise_spl`` is set, to keep runs reproducible.
         """
-        if not sources:
-            raise SignalDomainError("receive requires at least one source")
-        rates = {s.pressure_at_1m.sample_rate for s in sources}
-        if len(rates) != 1:
-            raise SignalDomainError(
-                f"all sources must share one sample rate, got {sorted(rates)}"
-            )
-        contributions = []
-        for source in sources:
-            contributions.append(
-                self._transmit_one(
-                    source.pressure_at_1m, source.position, receiver
-                )
-            )
-        total = mix(contributions)
+        total = self.transmit(sources, receiver)
         if self.ambient_noise_spl is not None:
             if rng is None:
                 raise SignalDomainError(
@@ -101,6 +87,119 @@ class AcousticChannel:
                 )
             total = total + self._ambient_noise(total, rng)
         return total
+
+    def transmit(
+        self, sources: list[PlacedSource], receiver: Position
+    ) -> Signal:
+        """The deterministic arrived pressure: all sources, no noise.
+
+        This is the trial-invariant half of :meth:`receive` — for a
+        fixed emission and geometry every trial shares this waveform,
+        which is why the batched trial kernel computes it exactly once
+        per trial group. Free-field transmissions of equal-length
+        sources run through
+        :meth:`~repro.acoustics.propagation.PropagationModel.propagate_batch`
+        (one stacked FFT for the whole rig); rooms, mixed lengths and
+        subclassed propagation models take the per-source scalar path.
+        Both produce bitwise identical sums.
+        """
+        if not sources:
+            raise SignalDomainError("receive requires at least one source")
+        rates = {s.pressure_at_1m.sample_rate for s in sources}
+        if len(rates) != 1:
+            raise SignalDomainError(
+                f"all sources must share one sample rate, got {sorted(rates)}"
+            )
+        lengths = {s.pressure_at_1m.n_samples for s in sources}
+        batchable = (
+            self.room is None
+            and len(sources) > 1
+            and len(lengths) == 1
+            and type(self.propagation) is PropagationModel
+        )
+        if batchable:
+            distances = []
+            for source in sources:
+                d = source.position.distance_to(receiver)
+                if d == 0.0:
+                    raise GeometryError(
+                        "source and receiver are coincident; no "
+                        "propagation path exists"
+                    )
+                distances.append(d)
+            rate = sources[0].pressure_at_1m.sample_rate
+            stack = np.stack(
+                [s.pressure_at_1m.samples for s in sources]
+            )
+            arrived = self.propagation.propagate_batch(
+                stack, rate, distances
+            )
+            # Sequential row accumulation matches mix()'s fold order.
+            acc = arrived[0].copy()
+            for row in arrived[1:]:
+                acc = np.add(acc, row)
+            return Signal(acc, rate, Unit.PASCAL)
+        contributions = []
+        for source in sources:
+            contributions.append(
+                self._transmit_one(
+                    source.pressure_at_1m, source.position, receiver
+                )
+            )
+        return mix(contributions)
+
+    def receive_batch(
+        self,
+        sources: list[PlacedSource],
+        receiver: Position,
+        rngs: list[np.random.Generator],
+    ) -> SignalBatch:
+        """One arrived waveform per trial generator, as a stacked batch.
+
+        Row ``i`` is bitwise identical to
+        ``receive(sources, receiver, rngs[i])``: the deterministic
+        transmission is computed once and each row adds that trial's
+        ambient-noise draw (the same :func:`white_noise` draw, from
+        the same generator, as the scalar path makes).
+        """
+        clean = self.transmit(sources, receiver)
+        return self.ambient_batch(clean, rngs)
+
+    def ambient_batch(
+        self, clean: Signal, rngs: list[np.random.Generator]
+    ) -> SignalBatch:
+        """Per-trial ambient-noise copies of one transmitted waveform.
+
+        The noise-adding half of :meth:`receive_batch`, split out so
+        the trial kernel can pay for :meth:`transmit` once and then
+        stream trial chunks through here with bounded memory. Row
+        ``i`` adds the draw ``rngs[i]`` would make on the scalar path.
+        """
+        if not rngs:
+            raise SignalDomainError(
+                "ambient_batch requires at least one trial generator"
+            )
+        if self.ambient_noise_spl is not None and any(
+            rng is None for rng in rngs
+        ):
+            raise SignalDomainError(
+                "ambient noise enabled but a trial generator is None; "
+                "pass one seeded generator per trial or set "
+                "ambient_noise_spl=None"
+            )
+        if self.ambient_noise_spl is None:
+            return SignalBatch.tiled(clean, len(rngs))
+        from repro.acoustics.spl import spl_to_pressure
+
+        rms_pa = spl_to_pressure(self.ambient_noise_spl)
+        n = clean.n_samples
+        n_draw = int(round(clean.duration * clean.sample_rate))
+        rows = np.empty((len(rngs), n))
+        for index, rng in enumerate(rngs):
+            noise = np.zeros(n)
+            noise[:n_draw] = rng.normal(0.0, 1.0, n_draw) * rms_pa
+            rows[index] = np.add(clean.samples, noise)
+        return SignalBatch(rows, clean.sample_rate, Unit.PASCAL)
 
     def _transmit_one(
         self, pressure_at_1m: Signal, source: Position, receiver: Position

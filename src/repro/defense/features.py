@@ -7,10 +7,16 @@ feature-ablation experiment (A3) selects subsets by name.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
-from repro.defense.traces import TraceAnalysis, analyze_traces
-from repro.dsp.signals import Signal
+from repro.defense.traces import (
+    TraceAnalysis,
+    analyze_traces,
+    analyze_traces_batch,
+)
+from repro.dsp.signals import Signal, SignalBatch
 from repro.errors import DefenseError
 
 #: Names of the entries of the feature vector, in order.
@@ -51,6 +57,12 @@ def feature_vector(
         :data:`FEATURE_NAMES`); used by the ablation experiments.
     """
     full = features_from_analysis(analyze_traces(recording))
+    return _select(full, subset)
+
+
+def _select(
+    full: np.ndarray, subset: tuple[str, ...] | None
+) -> np.ndarray:
     if subset is None:
         return full
     indices = []
@@ -62,4 +74,42 @@ def feature_vector(
         indices.append(FEATURE_NAMES.index(name))
     if not indices:
         raise DefenseError("feature subset must not be empty")
-    return full[indices]
+    return full[..., indices]
+
+
+def feature_matrix(
+    recordings: Sequence[Signal],
+    subset: tuple[str, ...] | None = None,
+) -> np.ndarray:
+    """Defense features of many recordings, extracted in batches.
+
+    Row ``i`` of the returned ``(n_recordings, n_features)`` matrix is
+    bitwise identical to ``feature_vector(recordings[i], subset)`` —
+    but equal-length recordings at one sample rate are analysed
+    together as a :class:`~repro.dsp.signals.SignalBatch` (stacked
+    Welch PSDs and band envelopes), which is how the defense
+    experiments' dataset synthesis amortises its DSP. Mixed lengths or
+    rates are handled by grouping; input order is preserved.
+    """
+    if not recordings:
+        raise DefenseError("feature_matrix needs at least one recording")
+    groups: dict[tuple[int, float, str], list[int]] = {}
+    for index, recording in enumerate(recordings):
+        key = (
+            recording.n_samples,
+            recording.sample_rate,
+            recording.unit,
+        )
+        groups.setdefault(key, []).append(index)
+    width = len(subset) if subset is not None else len(FEATURE_NAMES)
+    out = np.empty((len(recordings), width), dtype=np.float64)
+    for indices in groups.values():
+        batch = SignalBatch.from_signals(
+            [recordings[i] for i in indices]
+        )
+        analyses = analyze_traces_batch(batch)
+        for row_index, analysis in zip(indices, analyses):
+            out[row_index] = _select(
+                features_from_analysis(analysis), subset
+            )
+    return out

@@ -19,13 +19,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.dsp.filters import band_pass
+from repro.dsp.filters import band_pass_array
 from repro.dsp.measures import (
     max_cross_correlation,
     power_ratio_to_db,
 )
-from repro.dsp.signals import Signal
-from repro.dsp.spectrum import welch_psd
+from repro.dsp.signals import Signal, SignalBatch
+from repro.dsp.spectrum import band_power_matrix, welch_psd_matrix
 from repro.errors import DefenseError
 
 #: The demodulation-trace band, hertz. The lower edge clears the
@@ -48,27 +48,48 @@ def band_envelope(
     Returns one RMS value per ``frame_s`` frame — a compact envelope
     representation whose frame rate is high enough (50 Hz) to follow
     syllables but too low to carry voice-band content itself.
+    Delegates to :func:`band_envelope_matrix` with a one-row batch, so
+    the scalar and batched estimators can never drift apart.
     """
-    if signal.duration <= frame_s:
+    batch = SignalBatch(
+        signal.samples[np.newaxis, :], signal.sample_rate, signal.unit
+    )
+    return band_envelope_matrix(batch, low_hz, high_hz, frame_s)[0]
+
+
+def band_envelope_matrix(
+    batch: SignalBatch,
+    low_hz: float,
+    high_hz: float,
+    frame_s: float = 0.02,
+) -> np.ndarray:
+    """Frame-RMS envelopes of every row of a recording batch.
+
+    The batched counterpart of :func:`band_envelope`: the band-pass
+    runs along the last axis of the whole stack and the frame RMS
+    reduces per frame, one ``(n_signals, n_frames)`` matrix out.
+    """
+    if batch.duration <= frame_s:
         raise DefenseError(
-            f"signal too short ({signal.duration:.3f} s) for envelope "
+            f"signal too short ({batch.duration:.3f} s) for envelope "
             f"frames of {frame_s} s"
         )
     # Order 8 keeps the voice fundamental (>= ~100 Hz) from leaking
     # into the trace band through the filter skirts: at 4th order the
     # leaked f0 forms a ~-30 dB floor that buries weak traces.
-    banded = band_pass(
-        signal,
+    banded = band_pass_array(
+        batch.samples,
+        batch.sample_rate,
         max(low_hz, 1.0),
-        min(high_hz, signal.nyquist * 0.99),
+        min(high_hz, batch.nyquist * 0.99),
         order=8,
     )
-    frame_len = int(round(frame_s * signal.sample_rate))
-    n_frames = banded.n_samples // frame_len
-    frames = banded.samples[: n_frames * frame_len].reshape(
-        n_frames, frame_len
+    frame_len = int(round(frame_s * batch.sample_rate))
+    n_frames = banded.shape[-1] // frame_len
+    frames = banded[:, : n_frames * frame_len].reshape(
+        batch.n_signals, n_frames, frame_len
     )
-    return np.sqrt(np.mean(np.square(frames), axis=1))
+    return np.sqrt(np.mean(np.square(frames), axis=-1))
 
 
 @dataclass(frozen=True)
@@ -104,46 +125,84 @@ class TraceAnalysis:
 def analyze_traces(recording: Signal) -> TraceAnalysis:
     """Measure the demodulation traces of a device-rate recording.
 
+    Delegates to :func:`analyze_traces_batch` with a one-row batch —
+    one implementation, identical numbers at every batch size.
+
     Parameters
     ----------
     recording:
         A digital microphone recording (any device rate >= 8 kHz; the
         voice reference band is clipped to the recording's bandwidth).
     """
-    if recording.sample_rate < 8000.0:
+    batch = SignalBatch(
+        recording.samples[np.newaxis, :],
+        recording.sample_rate,
+        recording.unit,
+    )
+    return analyze_traces_batch(batch)[0]
+
+
+def analyze_traces_batch(batch: SignalBatch) -> list[TraceAnalysis]:
+    """Trace analyses of a whole recording batch at once.
+
+    The Welch PSDs, band powers and band envelopes of every row
+    compute as stacked ``axis=-1`` operations; only the short
+    lag-search cross-correlations remain per-row loops, over ~50-frame
+    envelopes rather than full recordings. Per-row results are bitwise
+    independent of how recordings are grouped into batches.
+    """
+    if batch.sample_rate < 8000.0:
         raise DefenseError(
             "trace analysis needs at least an 8 kHz recording, got "
-            f"{recording.sample_rate} Hz"
+            f"{batch.sample_rate} Hz"
         )
     # Blackman window: the Hann sidelobe floor (-31 dB first lobe)
     # leaks the speech fundamental into the sub-50 Hz bins and masks
     # weak traces; Blackman's -58 dB sidelobes keep the estimate clean.
-    psd = welch_psd(
-        recording,
-        segment_length=min(8192, recording.n_samples),
+    freqs, psd = welch_psd_matrix(
+        batch.samples,
+        batch.sample_rate,
+        segment_length=min(8192, batch.n_samples),
         window="blackman",
     )
-    total = max(psd.total_power(), 1e-30)
-    trace_power = psd.band_power(*TRACE_BAND_HZ)
-    voice_high = min(VOICE_BAND_HZ[1], recording.nyquist * 0.95)
-    voice_power = psd.band_power(VOICE_BAND_HZ[0], voice_high)
-    trace_env = band_envelope(recording, *TRACE_BAND_HZ)
-    voice_env = band_envelope(recording, VOICE_BAND_HZ[0], voice_high)
-    n = min(trace_env.size, voice_env.size)
-    # Allow +-3 frames (60 ms) of lag: the trace and the voice ride
-    # through different filter group delays.
-    correlation = max_cross_correlation(
-        trace_env[:n], voice_env[:n], max_lag=3
+    bin_width = float(freqs[1] - freqs[0]) if len(freqs) > 1 else 0.0
+    # Row-wise 1-D sums, matching PowerSpectrum.total_power bitwise
+    # (a 2-D axis reduction pairs additions differently by an ulp).
+    totals = np.array(
+        [max(float(np.sum(row)) * bin_width, 1e-30) for row in psd]
     )
-    power_correlation = max_cross_correlation(
-        trace_env[:n], np.square(voice_env[:n]), max_lag=3
-    )
-    return TraceAnalysis(
-        trace_power_db=power_ratio_to_db(max(trace_power, 1e-30) / total),
-        trace_to_voice_db=power_ratio_to_db(
-            max(trace_power, 1e-30) / max(voice_power, 1e-30)
-        ),
-        envelope_correlation=correlation,
-        envelope_power_correlation=power_correlation,
-        voice_power_db=power_ratio_to_db(max(voice_power, 1e-30) / total),
-    )
+    trace_powers = band_power_matrix(freqs, psd, *TRACE_BAND_HZ)
+    voice_high = min(VOICE_BAND_HZ[1], batch.nyquist * 0.95)
+    voice_powers = band_power_matrix(freqs, psd, VOICE_BAND_HZ[0], voice_high)
+    trace_envs = band_envelope_matrix(batch, *TRACE_BAND_HZ)
+    voice_envs = band_envelope_matrix(batch, VOICE_BAND_HZ[0], voice_high)
+    n = min(trace_envs.shape[-1], voice_envs.shape[-1])
+    analyses = []
+    for index in range(batch.n_signals):
+        trace_env = trace_envs[index, :n]
+        voice_env = voice_envs[index, :n]
+        # Allow +-3 frames (60 ms) of lag: the trace and the voice
+        # ride through different filter group delays.
+        correlation = max_cross_correlation(trace_env, voice_env, max_lag=3)
+        power_correlation = max_cross_correlation(
+            trace_env, np.square(voice_env), max_lag=3
+        )
+        total = totals[index]
+        trace_power = trace_powers[index]
+        voice_power = voice_powers[index]
+        analyses.append(
+            TraceAnalysis(
+                trace_power_db=power_ratio_to_db(
+                    max(trace_power, 1e-30) / total
+                ),
+                trace_to_voice_db=power_ratio_to_db(
+                    max(trace_power, 1e-30) / max(voice_power, 1e-30)
+                ),
+                envelope_correlation=correlation,
+                envelope_power_correlation=power_correlation,
+                voice_power_db=power_ratio_to_db(
+                    max(voice_power, 1e-30) / total
+                ),
+            )
+        )
+    return analyses

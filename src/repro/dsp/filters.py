@@ -81,33 +81,91 @@ def _min_length(order: int) -> int:
     return 3 * (2 * order + 1)
 
 
-def _apply_sos(signal: Signal, sos: np.ndarray) -> Signal:
-    order_hint = sos.shape[0] * 2
-    if signal.n_samples <= _min_length(order_hint):
+def sos_filtfilt_array(x: np.ndarray, sos: np.ndarray) -> np.ndarray:
+    """Zero-phase SOS filtering along the last axis of a raw array.
+
+    The single application point for every Butterworth filter in the
+    library: scalar :class:`Signal` filtering and the batched
+    ``*_array`` variants both land here, so a stacked
+    ``(n_signals, n_samples)`` batch is filtered row-by-row with
+    *bitwise* the same arithmetic as one waveform at a time.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim not in (1, 2):
         raise FilterDesignError(
-            f"signal too short ({signal.n_samples} samples) for "
+            f"expected a 1-D waveform or 2-D (n_signals, n_samples) "
+            f"batch, got shape {x.shape}"
+        )
+    order_hint = sos.shape[0] * 2
+    if x.shape[-1] <= _min_length(order_hint):
+        raise FilterDesignError(
+            f"signal too short ({x.shape[-1]} samples) for "
             f"zero-phase filtering at this order"
         )
-    filtered = sp_signal.sosfiltfilt(sos, signal.samples)
-    return signal.replace(samples=filtered)
+    return sp_signal.sosfiltfilt(sos, x, axis=-1)
+
+
+def _apply_sos(signal: Signal, sos: np.ndarray) -> Signal:
+    return signal.replace(samples=sos_filtfilt_array(signal.samples, sos))
+
+
+def low_pass_array(
+    x: np.ndarray, sample_rate: float, cutoff_hz: float, order: int = 6
+) -> np.ndarray:
+    """Zero-phase Butterworth low-pass along the last axis."""
+    _check_edge(cutoff_hz, sample_rate, "cutoff_hz")
+    sos = sp_signal.butter(
+        order, cutoff_hz, btype="lowpass", fs=sample_rate, output="sos"
+    )
+    return sos_filtfilt_array(x, sos)
+
+
+def high_pass_array(
+    x: np.ndarray, sample_rate: float, cutoff_hz: float, order: int = 6
+) -> np.ndarray:
+    """Zero-phase Butterworth high-pass along the last axis."""
+    _check_edge(cutoff_hz, sample_rate, "cutoff_hz")
+    sos = sp_signal.butter(
+        order, cutoff_hz, btype="highpass", fs=sample_rate, output="sos"
+    )
+    return sos_filtfilt_array(x, sos)
+
+
+def band_pass_array(
+    x: np.ndarray,
+    sample_rate: float,
+    low_hz: float,
+    high_hz: float,
+    order: int = 6,
+) -> np.ndarray:
+    """Zero-phase Butterworth band-pass along the last axis."""
+    _check_band(low_hz, high_hz, sample_rate)
+    sos = sp_signal.butter(
+        order,
+        [low_hz, high_hz],
+        btype="bandpass",
+        fs=sample_rate,
+        output="sos",
+    )
+    return sos_filtfilt_array(x, sos)
 
 
 def low_pass(signal: Signal, cutoff_hz: float, order: int = 6) -> Signal:
     """Zero-phase Butterworth low-pass filter."""
-    _check_edge(cutoff_hz, signal.sample_rate, "cutoff_hz")
-    sos = sp_signal.butter(
-        order, cutoff_hz, btype="lowpass", fs=signal.sample_rate, output="sos"
+    return signal.replace(
+        samples=low_pass_array(
+            signal.samples, signal.sample_rate, cutoff_hz, order
+        )
     )
-    return _apply_sos(signal, sos)
 
 
 def high_pass(signal: Signal, cutoff_hz: float, order: int = 6) -> Signal:
     """Zero-phase Butterworth high-pass filter."""
-    _check_edge(cutoff_hz, signal.sample_rate, "cutoff_hz")
-    sos = sp_signal.butter(
-        order, cutoff_hz, btype="highpass", fs=signal.sample_rate, output="sos"
+    return signal.replace(
+        samples=high_pass_array(
+            signal.samples, signal.sample_rate, cutoff_hz, order
+        )
     )
-    return _apply_sos(signal, sos)
 
 
 def _check_band(low_hz: float, high_hz: float, sample_rate: float) -> None:
@@ -123,15 +181,11 @@ def band_pass(
     signal: Signal, low_hz: float, high_hz: float, order: int = 6
 ) -> Signal:
     """Zero-phase Butterworth band-pass filter."""
-    _check_band(low_hz, high_hz, signal.sample_rate)
-    sos = sp_signal.butter(
-        order,
-        [low_hz, high_hz],
-        btype="bandpass",
-        fs=signal.sample_rate,
-        output="sos",
+    return signal.replace(
+        samples=band_pass_array(
+            signal.samples, signal.sample_rate, low_hz, high_hz, order
+        )
     )
-    return _apply_sos(signal, sos)
 
 
 def band_stop(

@@ -143,6 +143,12 @@ def normalized_correlation(a: np.ndarray, b: np.ndarray) -> float:
     """
     x = np.asarray(a, dtype=np.float64)
     y = np.asarray(b, dtype=np.float64)
+    if x.ndim != 1 or y.ndim != 1:
+        raise SignalDomainError(
+            "correlation needs 1-D arrays, got shapes "
+            f"{x.shape} and {y.shape}; pass one envelope row at a "
+            "time, not a batch matrix"
+        )
     if x.shape != y.shape:
         raise SignalDomainError(
             f"correlation inputs must match in shape: {x.shape} vs {y.shape}"
@@ -169,6 +175,12 @@ def max_cross_correlation(
         raise SignalDomainError(f"max_lag must be >= 0, got {max_lag}")
     x = np.asarray(a, dtype=np.float64)
     y = np.asarray(b, dtype=np.float64)
+    if x.ndim != 1 or y.ndim != 1:
+        raise SignalDomainError(
+            "cross-correlation needs 1-D arrays, got shapes "
+            f"{x.shape} and {y.shape}; pass one envelope row at a "
+            "time, not a batch matrix"
+        )
     n = min(x.size, y.size)
     x = x[:n]
     y = y[:n]

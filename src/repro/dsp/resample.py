@@ -56,6 +56,30 @@ def rational_ratio(
     return ratio.numerator, ratio.denominator
 
 
+def resample_array(
+    x: np.ndarray, source_rate: float, target_rate: float
+) -> np.ndarray:
+    """Polyphase-resample a raw array along its last axis.
+
+    The shared implementation under :func:`resample` and the batched
+    trial kernel: a stacked ``(n_signals, n_samples)`` batch resamples
+    row-by-row with bitwise the same arithmetic as one waveform at a
+    time.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim not in (1, 2):
+        raise SampleRateError(
+            f"expected a 1-D waveform or 2-D (n_signals, n_samples) "
+            f"batch, got shape {x.shape}"
+        )
+    if abs(target_rate - source_rate) < 1e-9:
+        return x.copy()
+    up, down = rational_ratio(target_rate, source_rate)
+    return np.asarray(
+        sp_signal.resample_poly(x, up, down, axis=-1), dtype=np.float64
+    )
+
+
 def resample(signal: Signal, target_rate: float) -> Signal:
     """Resample to ``target_rate`` via polyphase filtering.
 
@@ -65,10 +89,10 @@ def resample(signal: Signal, target_rate: float) -> Signal:
     """
     if abs(target_rate - signal.sample_rate) < 1e-9:
         return signal.copy()
-    up, down = rational_ratio(target_rate, signal.sample_rate)
-    resampled = sp_signal.resample_poly(signal.samples, up, down)
     return Signal(
-        np.asarray(resampled, dtype=np.float64), target_rate, signal.unit
+        resample_array(signal.samples, signal.sample_rate, target_rate),
+        target_rate,
+        signal.unit,
     )
 
 

@@ -83,7 +83,9 @@ class Signal:
         array = np.asarray(samples, dtype=np.float64)
         if array.ndim != 1:
             raise SignalDomainError(
-                f"Signal requires a 1-D sample array, got shape {array.shape}"
+                f"Signal requires a 1-D sample array, got shape "
+                f"{array.shape}; stack multiple waveforms with "
+                "SignalBatch instead"
             )
         if not np.all(np.isfinite(array)):
             raise SignalDomainError("Signal samples must be finite")
@@ -370,6 +372,167 @@ class Signal:
         self.require_same_unit(other)
         return self.replace(
             samples=np.concatenate([self._samples, other._samples])
+        )
+
+
+class SignalBatch:
+    """A stack of equal-length waveforms sharing one rate and unit.
+
+    The container behind the vectorized trial kernel
+    (:mod:`repro.sim.batch`): ``samples`` is a two-dimensional
+    ``float64`` array of shape ``(n_signals, n_samples)`` — one trial
+    (or one source) per row, time along the last axis. Batched DSP
+    stages operate on the whole stack with ``axis=-1`` operations, so
+    per-row results are bitwise identical to running each row through
+    the scalar :class:`Signal` pipeline.
+
+    Like :class:`Signal`, the buffer is read-only and rate/unit are
+    bound to the data, so rate-mixing bugs raise instead of silently
+    corrupting a whole batch at once.
+    """
+
+    __slots__ = ("_samples", "_sample_rate", "_unit")
+
+    def __init__(
+        self,
+        samples: np.ndarray,
+        sample_rate: float,
+        unit: str = Unit.DIGITAL,
+    ) -> None:
+        array = np.asarray(samples, dtype=np.float64)
+        if array.ndim != 2:
+            raise SignalDomainError(
+                "SignalBatch requires a 2-D (n_signals, n_samples) "
+                f"array, got shape {array.shape}; wrap a single "
+                "waveform with Signal, or reshape explicitly"
+            )
+        if array.shape[0] < 1:
+            raise SignalDomainError(
+                "SignalBatch requires at least one row"
+            )
+        if not np.all(np.isfinite(array)):
+            raise SignalDomainError("SignalBatch samples must be finite")
+        if sample_rate <= 0 or not math.isfinite(sample_rate):
+            raise SampleRateError(
+                f"sample_rate must be a positive finite number, got "
+                f"{sample_rate}"
+            )
+        self._samples = array.copy()
+        self._samples.flags.writeable = False
+        self._sample_rate = float(sample_rate)
+        self._unit = Unit.validate(unit)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def samples(self) -> np.ndarray:
+        """Read-only ``(n_signals, n_samples)`` sample matrix."""
+        return self._samples
+
+    @property
+    def sample_rate(self) -> float:
+        """Sampling frequency in hertz, shared by every row."""
+        return self._sample_rate
+
+    @property
+    def unit(self) -> str:
+        """Physical unit of the samples (a :class:`Unit` constant)."""
+        return self._unit
+
+    @property
+    def n_signals(self) -> int:
+        """Number of stacked waveforms (rows)."""
+        return int(self._samples.shape[0])
+
+    @property
+    def n_samples(self) -> int:
+        """Samples per waveform (the last-axis length)."""
+        return int(self._samples.shape[-1])
+
+    @property
+    def duration(self) -> float:
+        """Per-row length in seconds."""
+        return self.n_samples / self._sample_rate
+
+    @property
+    def nyquist(self) -> float:
+        """Nyquist frequency (half the sample rate) in hertz."""
+        return self._sample_rate / 2.0
+
+    def __len__(self) -> int:
+        return self.n_signals
+
+    def __repr__(self) -> str:
+        return (
+            f"SignalBatch(n_signals={self.n_signals}, "
+            f"n={self.n_samples}, rate={self._sample_rate:g} Hz, "
+            f"unit={self._unit!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_signals(cls, signals: Sequence[Signal]) -> "SignalBatch":
+        """Stack equal-length signals of one rate and unit."""
+        if not signals:
+            raise SignalDomainError(
+                "from_signals requires at least one signal"
+            )
+        first = signals[0]
+        for other in signals[1:]:
+            first.require_same_rate(other)
+            first.require_same_unit(other)
+            if other.n_samples != first.n_samples:
+                raise SignalDomainError(
+                    "from_signals requires equal lengths, got "
+                    f"{first.n_samples} and {other.n_samples} samples"
+                )
+        return cls(
+            np.stack([s.samples for s in signals]),
+            first.sample_rate,
+            first.unit,
+        )
+
+    @classmethod
+    def tiled(cls, signal: Signal, n_signals: int) -> "SignalBatch":
+        """``n_signals`` identical copies of one waveform."""
+        if n_signals < 1:
+            raise SignalDomainError(
+                f"n_signals must be >= 1, got {n_signals}"
+            )
+        return cls(
+            np.tile(signal.samples, (n_signals, 1)),
+            signal.sample_rate,
+            signal.unit,
+        )
+
+    def row(self, index: int) -> Signal:
+        """The ``index``-th waveform as a scalar :class:`Signal`."""
+        if not 0 <= index < self.n_signals:
+            raise SignalDomainError(
+                f"row index {index} outside [0, {self.n_signals})"
+            )
+        return Signal(
+            self._samples[index], self._sample_rate, self._unit
+        )
+
+    def signals(self) -> list[Signal]:
+        """Every row as an independent scalar :class:`Signal`."""
+        return [self.row(i) for i in range(self.n_signals)]
+
+    def replace(
+        self,
+        samples: np.ndarray | None = None,
+        sample_rate: float | None = None,
+        unit: str | None = None,
+    ) -> "SignalBatch":
+        """Return a copy with any of the three fields replaced."""
+        return SignalBatch(
+            self._samples if samples is None else samples,
+            self._sample_rate if sample_rate is None else sample_rate,
+            self._unit if unit is None else unit,
         )
 
 

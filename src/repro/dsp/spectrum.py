@@ -65,6 +65,59 @@ class PowerSpectrum:
         return float(self.frequencies[int(np.argmax(self.psd))])
 
 
+def welch_psd_matrix(
+    x: np.ndarray,
+    sample_rate: float,
+    segment_length: int = 4096,
+    overlap: float = 0.5,
+    window: str = "hann",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Welch PSDs of a stacked ``(n_signals, n_samples)`` batch.
+
+    Returns ``(frequencies, psd)`` with ``psd`` of shape
+    ``(n_signals, n_bins)``. Each segment's FFT is computed for every
+    row at once (``axis=-1``), but segments accumulate in the same
+    sequential order as :func:`welch_psd`, so each row of the result is
+    bitwise identical to the scalar estimate of that row — the
+    guarantee the batched defense feature extraction relies on.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise SignalDomainError(
+            f"welch_psd_matrix expects a 2-D (n_signals, n_samples) "
+            f"batch, got shape {x.shape}"
+        )
+    n_samples = x.shape[-1]
+    if n_samples == 0:
+        raise SignalDomainError("cannot estimate the PSD of an empty signal")
+    if not 0 <= overlap < 1:
+        raise SignalDomainError(f"overlap must be in [0, 1), got {overlap}")
+    n_seg = min(segment_length, n_samples)
+    step = max(1, int(round(n_seg * (1 - overlap))))
+    w = win.get_window(window, n_seg)
+    scale = 1.0 / (sample_rate * np.sum(np.square(w)))
+    acc = np.zeros((x.shape[0], n_seg // 2 + 1))
+    count = 0
+    for start in range(0, n_samples - n_seg + 1, step):
+        segment = x[..., start : start + n_seg] * w
+        spectrum = np.fft.rfft(segment, axis=-1)
+        acc += np.square(np.abs(spectrum)) * scale
+        count += 1
+    if count == 0:  # signals shorter than one segment: single padded FFT
+        segment = np.zeros((x.shape[0], n_seg))
+        segment[..., :n_samples] = x
+        spectrum = np.fft.rfft(segment * w, axis=-1)
+        acc = np.square(np.abs(spectrum)) * scale
+        count = 1
+    psd = acc / count
+    # One-sided correction: double everything except DC and Nyquist.
+    psd[..., 1:-1] *= 2.0 if n_seg % 2 == 0 else 1.0
+    if n_seg % 2 == 1:
+        psd[..., 1:] *= 2.0
+    freqs = np.fft.rfftfreq(n_seg, d=1.0 / sample_rate)
+    return freqs, psd
+
+
 def welch_psd(
     signal: Signal,
     segment_length: int = 4096,
@@ -75,37 +128,54 @@ def welch_psd(
 
     Implemented from scratch on the FFT so scaling is fully under test:
     with a Hann window and 50 % overlap the estimate integrates to the
-    signal's mean-square value (Parseval).
+    signal's mean-square value (Parseval). Delegates to
+    :func:`welch_psd_matrix` with a one-row batch, so scalar and
+    batched estimates can never drift apart.
     """
-    if signal.n_samples == 0:
-        raise SignalDomainError("cannot estimate the PSD of an empty signal")
-    if not 0 <= overlap < 1:
-        raise SignalDomainError(f"overlap must be in [0, 1), got {overlap}")
-    n_seg = min(segment_length, signal.n_samples)
-    step = max(1, int(round(n_seg * (1 - overlap))))
-    w = win.get_window(window, n_seg)
-    scale = 1.0 / (signal.sample_rate * np.sum(np.square(w)))
-    x = signal.samples
-    acc = np.zeros(n_seg // 2 + 1)
-    count = 0
-    for start in range(0, signal.n_samples - n_seg + 1, step):
-        segment = x[start : start + n_seg] * w
-        spectrum = np.fft.rfft(segment)
-        acc += np.square(np.abs(spectrum)) * scale
-        count += 1
-    if count == 0:  # signal shorter than one segment: single padded FFT
-        segment = np.zeros(n_seg)
-        segment[: signal.n_samples] = x
-        spectrum = np.fft.rfft(segment * w)
-        acc = np.square(np.abs(spectrum)) * scale
-        count = 1
-    psd = acc / count
-    # One-sided correction: double everything except DC and Nyquist.
-    psd[1:-1] *= 2.0 if n_seg % 2 == 0 else 1.0
-    if n_seg % 2 == 1:
-        psd[1:] *= 2.0
-    freqs = np.fft.rfftfreq(n_seg, d=1.0 / signal.sample_rate)
-    return PowerSpectrum(frequencies=freqs, psd=psd)
+    freqs, psd = welch_psd_matrix(
+        signal.samples[np.newaxis, :],
+        signal.sample_rate,
+        segment_length=segment_length,
+        overlap=overlap,
+        window=window,
+    )
+    return PowerSpectrum(frequencies=freqs, psd=psd[0])
+
+
+def band_power_matrix(
+    frequencies: np.ndarray,
+    psd: np.ndarray,
+    low_hz: float,
+    high_hz: float,
+) -> np.ndarray:
+    """Per-row band power of a ``(n_signals, n_bins)`` PSD matrix.
+
+    The batched counterpart of :meth:`PowerSpectrum.band_power`:
+    integrates each row over ``[low_hz, high_hz]`` with the same mask
+    and bin width, returning one power per row.
+    """
+    if low_hz > high_hz:
+        raise SignalDomainError(
+            f"band edges inverted: {low_hz} > {high_hz}"
+        )
+    psd = np.asarray(psd)
+    if psd.ndim != 2 or psd.shape[-1] != frequencies.shape[0]:
+        raise SignalDomainError(
+            "psd must be (n_signals, n_bins) matching frequencies, "
+            f"got psd shape {psd.shape} for {frequencies.shape[0]} bins"
+        )
+    if len(frequencies) < 2:
+        bin_width = 0.0
+    else:
+        bin_width = float(frequencies[1] - frequencies[0])
+    mask = (frequencies >= low_hz) & (frequencies <= high_hz)
+    # Per-row 1-D sums: a 2-D axis reduction pairs its additions
+    # differently from np.sum on a 1-D slice (off by an ulp on wide
+    # bands), and rows must stay bitwise equal to
+    # PowerSpectrum.band_power for the golden-trace guarantees.
+    return np.array(
+        [float(np.sum(row[mask])) * bin_width for row in psd]
+    )
 
 
 def power_spectrum(signal: Signal, window: str = "hann") -> PowerSpectrum:

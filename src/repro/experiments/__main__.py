@@ -11,8 +11,10 @@ Run everything (quick mode) on every core::
 Add ``--full`` for the full-resolution sweeps recorded in
 EXPERIMENTS.md, ``--seed N`` to vary the master seed, and ``--jobs N``
 to bound the worker pool (default: all CPU cores; ``--jobs 1`` runs
-serially). Rendered tables go to stdout and are byte-identical for
-every ``--jobs`` value; per-experiment timings go to stderr.
+serially). ``--no-batch`` disables the vectorized batch trial kernel
+and walks the scalar per-trial loop instead. Rendered tables go to
+stdout and are byte-identical for every ``--jobs`` value and for both
+batch modes; per-experiment timings go to stderr.
 """
 
 from __future__ import annotations
@@ -51,6 +53,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes (default: cpu count; 1 = serial)",
     )
+    parser.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="disable the vectorized batch trial kernel (scalar "
+        "per-trial loop; identical output, slower)",
+    )
     return parser
 
 
@@ -73,7 +81,7 @@ def main(argv: list[str] | None = None) -> int:
     # pool start-up and per-process emission caches amortise across
     # the whole run.
     try:
-        engine = ExperimentEngine(jobs=args.jobs)
+        engine = ExperimentEngine(jobs=args.jobs, batch=not args.no_batch)
     except ExperimentError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -14,8 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.dsp.filters import low_pass
-from repro.dsp.resample import resample
+from repro.dsp.filters import low_pass, low_pass_array
+from repro.dsp.resample import resample, resample_array
 from repro.dsp.signals import Signal, Unit
 from repro.errors import HardwareModelError
 
@@ -85,11 +85,46 @@ class AnalogToDigitalConverter:
         else:
             filtered = analog
         sampled = resample(filtered, self.sample_rate)
-        normalized = sampled.samples / self.full_scale
+        return Signal(
+            self._digitize(sampled.samples), self.sample_rate, Unit.DIGITAL
+        )
+
+    def convert_batch(
+        self, analog: np.ndarray, input_rate: float
+    ) -> np.ndarray:
+        """Digitise a stacked ``(n_signals, n_samples)`` batch.
+
+        Row-for-row bitwise identical to :meth:`convert`: the
+        anti-alias filter and polyphase resampler run along the last
+        axis and the normalise/clip/quantise stages are elementwise.
+        Returns the digital sample matrix at :attr:`sample_rate`.
+        """
+        analog = np.asarray(analog, dtype=np.float64)
+        if analog.ndim != 2:
+            raise HardwareModelError(
+                "convert_batch expects a 2-D (n_signals, n_samples) "
+                f"batch, got shape {analog.shape}"
+            )
+        if input_rate < self.sample_rate:
+            raise HardwareModelError(
+                f"ADC input rate {input_rate} Hz below the "
+                f"device rate {self.sample_rate} Hz; the microphone "
+                "chain must run at or above the device rate"
+            )
+        cutoff = self.antialias_cutoff_fraction * self.sample_rate / 2.0
+        if cutoff < (input_rate / 2.0) * 0.999:
+            filtered = low_pass_array(analog, input_rate, cutoff, order=8)
+        else:
+            filtered = analog
+        sampled = resample_array(filtered, input_rate, self.sample_rate)
+        return self._digitize(sampled)
+
+    def _digitize(self, samples: np.ndarray) -> np.ndarray:
+        """Normalise, clip and quantise raw samples (any shape)."""
+        normalized = samples / self.full_scale
         clipped = np.clip(normalized, -1.0, 1.0)
         step = self.quantization_step
         quantized = np.round(clipped / step) * step
         # The mid-tread rounding can overshoot full scale by half a
         # step; a real converter saturates at its top code.
-        quantized = np.clip(quantized, -1.0, 1.0)
-        return Signal(quantized, self.sample_rate, Unit.DIGITAL)
+        return np.clip(quantized, -1.0, 1.0)

@@ -20,8 +20,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.acoustics.spl import spl_to_pressure
-from repro.dsp.filters import high_pass, low_pass
-from repro.dsp.signals import Signal, Unit
+from repro.dsp.filters import (
+    high_pass,
+    high_pass_array,
+    low_pass,
+    low_pass_array,
+)
+from repro.dsp.signals import Signal, SignalBatch, Unit
 from repro.hardware.adc import AnalogToDigitalConverter
 from repro.hardware.nonlinearity import PolynomialNonlinearity
 from repro.errors import HardwareModelError, SignalDomainError
@@ -172,16 +177,92 @@ class Microphone:
         )
         return adc.convert(noisy)
 
+    def record_batch(
+        self, pressure: SignalBatch, rngs: list[np.random.Generator]
+    ) -> SignalBatch:
+        """Record a stack of pressure waveforms, one per trial.
+
+        The batched counterpart of :meth:`record` for the vectorized
+        trial kernel: every chain stage (front-end shaping, polynomial
+        nonlinearity, anti-alias and DC-block filtering, ADC) runs as
+        one ``axis=-1`` operation over the whole
+        ``(n_trials, n_samples)`` stack, while self-noise is drawn from
+        ``rngs[i]`` for row ``i`` — the *same* draw the scalar path
+        makes — so row ``i`` of the result is bitwise identical to
+        ``record(pressure.row(i), rngs[i])``.
+        """
+        if pressure.unit != Unit.PASCAL:
+            raise SignalDomainError(
+                "record_batch expects pressure waveforms in pascals, "
+                f"got unit {pressure.unit!r}"
+            )
+        if len(rngs) != pressure.n_signals:
+            raise HardwareModelError(
+                f"{pressure.n_signals} stacked waveforms but "
+                f"{len(rngs)} generators; record_batch needs exactly "
+                "one per trial"
+            )
+        if any(rng is None for rng in rngs):
+            raise HardwareModelError(
+                "record_batch requires a numpy Generator per trial; "
+                "seed them explicitly for reproducibility"
+            )
+        conditioned = self._front_end_array(
+            pressure.samples, pressure.sample_rate
+        )
+        drive = conditioned / self.full_scale_pressure
+        shaped = self.config.nonlinearity.apply_array(drive)
+        if not np.all(np.isfinite(shaped)):
+            raise SignalDomainError(
+                "nonlinearity produced non-finite samples; the input "
+                "drive is outside the model's validity range"
+            )
+        rate = pressure.sample_rate
+        cutoff = min(
+            self.config.effective_antialias_cutoff, (rate / 2.0) * 0.99
+        )
+        filtered = low_pass_array(shaped, rate, cutoff, order=8)
+        filtered = high_pass_array(
+            filtered, rate, self.config.dc_block_hz, order=1
+        )
+        noise_rms_pa = spl_to_pressure(self.config.noise_floor_spl)
+        noise_rms_digital = (
+            noise_rms_pa
+            * abs(self.config.nonlinearity.a1)
+            / self.full_scale_pressure
+        )
+        noisy = np.empty_like(filtered)
+        for index, rng in enumerate(rngs):
+            noise = rng.normal(
+                0.0, noise_rms_digital, filtered.shape[-1]
+            )
+            noisy[index] = np.add(filtered[index], noise)
+        adc = AnalogToDigitalConverter(
+            sample_rate=self.config.device_rate, full_scale=1.0
+        )
+        digital = adc.convert_batch(noisy, rate)
+        return SignalBatch(digital, self.config.device_rate, Unit.DIGITAL)
+
     def _front_end(self, pressure: Signal) -> Signal:
         """Apply the cover/port ultrasonic attenuation, if any."""
+        shaped = self._front_end_array(
+            pressure.samples, pressure.sample_rate
+        )
+        if shaped is pressure.samples:
+            return pressure
+        return pressure.replace(samples=shaped)
+
+    def _front_end_array(
+        self, samples: np.ndarray, sample_rate: float
+    ) -> np.ndarray:
+        """Cover/port attenuation on a 1-D waveform or a 2-D stack."""
         attenuation_db = self.config.front_end_attenuation_db
         if attenuation_db == 0.0:
-            return pressure
+            return samples
         gain = 10.0 ** (-attenuation_db / 20.0)
-        spectrum = np.fft.rfft(pressure.samples)
-        freqs = np.fft.rfftfreq(
-            pressure.n_samples, d=1.0 / pressure.sample_rate
-        )
+        n = samples.shape[-1]
+        spectrum = np.fft.rfft(samples, axis=-1)
+        freqs = np.fft.rfftfreq(n, d=1.0 / sample_rate)
         # Smooth transition from unity below 18 kHz to the attenuated
         # level above 22 kHz, approximating a cover's mass-law slope.
         response = np.ones_like(freqs)
@@ -189,8 +270,7 @@ class Microphone:
         ramp = (freqs >= lo) & (freqs <= hi)
         response[ramp] = 1.0 + (gain - 1.0) * (freqs[ramp] - lo) / (hi - lo)
         response[freqs > hi] = gain
-        shaped = np.fft.irfft(spectrum * response, n=pressure.n_samples)
-        return pressure.replace(samples=shaped)
+        return np.fft.irfft(spectrum * response, n=n, axis=-1)
 
     def _add_self_noise(
         self, analog: Signal, rng: np.random.Generator

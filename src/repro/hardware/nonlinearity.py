@@ -73,7 +73,15 @@ class PolynomialNonlinearity:
         return all(c == 0.0 for c in self.coefficients[1:])
 
     def apply_array(self, x: np.ndarray) -> np.ndarray:
-        """Apply the polynomial to a raw array (Horner evaluation)."""
+        """Apply the polynomial to a raw array (Horner evaluation).
+
+        Shape-agnostic and elementwise: a stacked
+        ``(n_trials, n_samples)`` batch produces bitwise the same
+        values as applying the polynomial row by row, which is what
+        lets :mod:`repro.sim.batch` push whole trial batches through
+        the transducer model in one call.
+        """
+        x = np.asarray(x, dtype=np.float64)
         result = np.zeros_like(x)
         for coefficient in reversed(self.coefficients):
             result = (result + coefficient) * x

@@ -1,0 +1,152 @@
+"""Vectorized batch trial kernel.
+
+The scalar pipeline (:class:`repro.sim.runner.ScenarioRunner`) walks
+every trial through propagate -> nonlinearity -> filter -> ADC ->
+recognise one waveform at a time, recomputing the *deterministic*
+acoustic transmission — by far the most expensive stage for a
+multi-speaker rig — once per trial. This module restructures the hot
+path around two observations:
+
+1. **Transmission is trial-invariant.** For a fixed emission and
+   geometry every trial hears the same arrived waveform; only the
+   ambient-noise and self-noise draws differ. The kernel computes the
+   transmission once per trial group and broadcasts it.
+2. **The per-trial stages are axis-parallel.** Noise addition, the
+   polynomial nonlinearity, zero-phase filtering, resampling and
+   quantisation all operate along time, so a whole trial batch runs as
+   stacked ``(n_trials, n_samples)`` operations
+   (:class:`~repro.dsp.signals.SignalBatch`).
+
+Equivalence discipline: per-trial random draws come from the *same*
+SeedSequence-spawned generators, in the same order, as the scalar
+path, and every batched stage is bitwise identical per row to its
+scalar counterpart — so :func:`run_group_batch` reproduces
+:meth:`ScenarioRunner.run_trial` outcomes exactly, not merely to
+tolerance. The golden-trace suite (``tests/golden/``) and the
+batch-equivalence tests pin this down.
+
+Scenarios the kernel cannot prove equivalent — subclassed microphone
+or nonlinearity models whose overridden behaviour the batch chain
+would silently bypass — are reported by :func:`supports_batch`, and
+the engine falls back to the scalar path automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.acoustics.channel import AcousticChannel
+from repro.errors import ExperimentError
+from repro.hardware.microphone import Microphone
+from repro.hardware.nonlinearity import PolynomialNonlinearity
+from repro.sim.runner import ScenarioRunner, TrialOutcome
+from repro.sim.scenario import Scenario
+
+#: Trials stacked per kernel pass. Eight acoustic-rate rows keep every
+#: intermediate in the low tens of MB — large enough to amortise the
+#: per-call overhead of the axis-aware DSP, small enough that the
+#: filter chain's temporaries don't evict each other from cache.
+_CHUNK_TRIALS = 8
+
+
+def supports_batch(group) -> bool:
+    """Whether the batched kernel is provably equivalent for a group.
+
+    The kernel re-implements the microphone chain with axis-aware
+    operations, so it must refuse any group whose hardware models have
+    been subclassed: an overridden ``record`` or transfer polynomial
+    would be silently bypassed. Exact-type checks keep the decision
+    cheap and conservative — anything unusual takes the scalar path.
+    """
+    microphone = group.device.microphone
+    return (
+        type(microphone) is Microphone
+        and type(microphone.config.nonlinearity) is PolynomialNonlinearity
+        and type(group.scenario) is Scenario
+    )
+
+
+def run_group_batch(
+    group,
+    rngs: Sequence[np.random.Generator],
+    keep_recordings: bool = True,
+) -> list[TrialOutcome]:
+    """Execute one trial group's trials as a stacked batch.
+
+    Parameters
+    ----------
+    group:
+        A :class:`repro.sim.engine.TrialGroup` (scenario, device,
+        emission, n_trials).
+    rngs:
+        One spawned generator per trial, in trial order — the same
+        generators the scalar path would consume. Each is drawn from
+        exactly twice (ambient noise, then microphone self-noise), so
+        outcomes are bitwise identical to the scalar pipeline.
+    keep_recordings:
+        When ``False`` each outcome's ``recording`` is ``None``
+        (matching the engine's IPC-saving convention).
+
+    Returns
+    -------
+    list[TrialOutcome]
+        One outcome per generator, in order.
+    """
+    if not rngs:
+        raise ExperimentError("run_group_batch needs >= 1 trial generator")
+    if not supports_batch(group):
+        raise ExperimentError(
+            "run_group_batch cannot prove equivalence for this group "
+            f"(device {group.device.name!r} uses a subclassed hardware "
+            "model); run it through ExperimentEngine, which falls back "
+            "to the scalar path automatically"
+        )
+    sources = group.resolve_sources()
+    if not sources:
+        raise ExperimentError("run_trial needs at least one source")
+    scenario, device = group.scenario, group.device
+    # The runner's constructor enforces the command-enrolled invariant;
+    # reuse it so batch and scalar reject identically.
+    ScenarioRunner(scenario, device)
+    channel = AcousticChannel(
+        room=scenario.room,
+        ambient_noise_spl=scenario.ambient_noise_spl,
+    )
+    rngs = list(rngs)
+    # Stage 1: one deterministic transmission for the whole group.
+    clean = channel.transmit(sources, scenario.victim_position)
+    outcomes: list[TrialOutcome] = []
+    # Stages 2+3 stream in bounded chunks: a 50-trial stack of
+    # acoustic-rate waveforms is hundreds of MB and several such
+    # temporaries live at once inside the filter chain, so capping the
+    # stack height keeps the working set cache-friendly. Chunking is
+    # invisible to the results — rows are independent and generators
+    # are consumed in trial order either way.
+    for start in range(0, len(rngs), _CHUNK_TRIALS):
+        chunk = rngs[start : start + _CHUNK_TRIALS]
+        arrived = channel.ambient_batch(clean, chunk)
+        recordings = device.microphone.record_batch(arrived, chunk)
+        # Stage 4: recognition stays per-trial (DTW is sequential),
+        # but on compact device-rate rows rather than acoustic-rate
+        # waveforms.
+        for index in range(recordings.n_signals):
+            recording = recordings.row(index)
+            result = device.recognizer.recognize(recording)
+            outcomes.append(
+                TrialOutcome(
+                    success=result.accepted
+                    and result.command == scenario.command,
+                    recognized_command=result.command,
+                    accepted=result.accepted,
+                    distance=result.distance,
+                    recording=recording,
+                )
+            )
+    if not keep_recordings:
+        outcomes = [
+            replace(outcome, recording=None) for outcome in outcomes
+        ]
+    return outcomes

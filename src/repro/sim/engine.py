@@ -19,6 +19,11 @@ their noise draws. Three observations make the whole suite scale:
 3. **The serial path is the degenerate case.** With ``jobs=1`` the
    engine runs every task in-process with no executor, identical code
    path, identical numbers.
+4. **Inside each worker the hot path is vectorized.** By default trial
+   chunks run through :mod:`repro.sim.batch`: the deterministic
+   transmission is computed once per group and the per-trial noise /
+   microphone / ADC stages execute as stacked 2-D operations, bitwise
+   identical to the scalar loop (``batch=False``, CLI ``--no-batch``).
 
 The engine is the substrate under :mod:`repro.sim.sweep`, all the
 ``repro.experiments`` modules and the ``python -m repro.experiments``
@@ -39,6 +44,7 @@ import numpy as np
 from repro.acoustics.channel import PlacedSource
 from repro.dsp.signals import Signal
 from repro.errors import ExperimentError
+from repro.sim.batch import run_group_batch, supports_batch
 from repro.sim.runner import ScenarioRunner, TrialOutcome
 from repro.sim.scenario import Scenario, VictimDevice
 from repro.speech.commands import synthesize_command
@@ -195,18 +201,29 @@ class TrialGroup:
 
 
 def _run_trial_batch(
-    task: tuple[TrialGroup, tuple[np.random.Generator, ...], bool],
+    task: tuple[
+        TrialGroup, tuple[np.random.Generator, ...], bool, bool
+    ],
 ) -> list[TrialOutcome]:
-    """Worker: execute one batch of a group's trials.
+    """Worker: execute one chunk of a group's trials.
 
     Module-level so it pickles by reference; the emission is resolved
-    here, inside the executing process, through its cache. When the
-    caller only wants success statistics, ``keep_recordings=False``
-    drops each outcome's device-rate waveform *before* it is pickled
-    back — at 50 trials per cell the recordings, not the results, are
-    the dominant IPC cost.
+    here, inside the executing process, through its cache. With
+    ``use_batch`` set (the default engine mode) the chunk runs through
+    the vectorized kernel (:func:`repro.sim.batch.run_group_batch`) —
+    one transmission, stacked 2-D trial operations — falling back to
+    the scalar per-trial loop for groups the kernel cannot prove
+    equivalent. Both paths consume the same spawned generators in the
+    same order, so their outcomes are bitwise identical.
+
+    When the caller only wants success statistics,
+    ``keep_recordings=False`` drops each outcome's device-rate
+    waveform *before* it is pickled back — at 50 trials per cell the
+    recordings, not the results, are the dominant IPC cost.
     """
-    group, rngs, keep_recordings = task
+    group, rngs, keep_recordings, use_batch = task
+    if use_batch and supports_batch(group):
+        return run_group_batch(group, rngs, keep_recordings)
     runner = ScenarioRunner(group.scenario, group.device)
     sources = group.resolve_sources()
     outcomes = [runner.run_trial(sources, rng) for rng in rngs]
@@ -306,6 +323,14 @@ class ExperimentEngine:
         Worker process count; ``None`` means ``os.cpu_count()``.
         ``jobs=1`` is the serial degenerate case: no pool, no pickling,
         same numbers. Results are bit-identical for every value.
+    batch:
+        Whether trial chunks run through the vectorized kernel
+        (:mod:`repro.sim.batch`) — one deterministic transmission per
+        group, stacked 2-D trial operations — instead of the scalar
+        per-trial loop. Defaults to ``True``; both modes are bitwise
+        identical (the kernel falls back to the scalar path for groups
+        it cannot prove equivalent), so this flag changes wall clock,
+        never numbers. The CLI exposes it as ``--no-batch``.
 
     The engine owns at most one :class:`ProcessPoolExecutor`, created
     lazily on first parallel use and reused across calls (and across
@@ -313,7 +338,9 @@ class ExperimentEngine:
     paid once per run rather than once per sweep point.
     """
 
-    def __init__(self, jobs: int | None = None) -> None:
+    def __init__(
+        self, jobs: int | None = None, batch: bool = True
+    ) -> None:
         if jobs is None:
             jobs = os.cpu_count() or 1
         if isinstance(jobs, bool) or not isinstance(jobs, int):
@@ -322,7 +349,12 @@ class ExperimentEngine:
             )
         if jobs < 1:
             raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        if not isinstance(batch, bool):
+            raise ExperimentError(
+                f"batch must be a boolean, got {batch!r}"
+            )
         self.jobs = jobs
+        self.batch = batch
         self._pool: ProcessPoolExecutor | None = None
 
     # -- lifecycle ----------------------------------------------------
@@ -376,6 +408,7 @@ class ExperimentEngine:
         groups: Sequence[TrialGroup],
         rng: np.random.Generator,
         keep_recordings: bool = True,
+        batch: bool | None = None,
     ) -> list[list[TrialOutcome]]:
         """Execute every group's trials, fanned out together.
 
@@ -389,6 +422,10 @@ class ExperimentEngine:
         ``keep_recordings=False`` nulls each outcome's ``recording``
         (identically at every ``jobs`` value) so success-rate waves do
         not pickle waveforms back from the pool.
+
+        ``batch`` overrides the engine-wide vectorized-kernel setting
+        for this call (``None`` inherits it). Outcomes are bitwise
+        identical either way; only throughput changes.
         """
         groups = list(groups)
         if not groups:
@@ -398,6 +435,7 @@ class ExperimentEngine:
                 raise ExperimentError(
                     f"n_trials must be >= 1, got {group.n_trials}"
                 )
+        use_batch = self.batch if batch is None else bool(batch)
         # Coarse batches keep emission materialisation local: with
         # groups >= jobs each group stays on one worker, so its
         # emission is built exactly once in the whole pool.
@@ -409,7 +447,7 @@ class ExperimentEngine:
             batches = _partition(trial_rngs, batches_per_group)
             spans.append(len(batches))
             tasks.extend(
-                (group, tuple(batch), keep_recordings)
+                (group, tuple(batch), keep_recordings, use_batch)
                 for batch in batches
             )
         flat = self.map(_run_trial_batch, tasks)

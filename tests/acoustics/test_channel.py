@@ -122,3 +122,57 @@ class TestReceive:
             source, Position(1, 0, 0), np.random.default_rng(5)
         )
         assert a == b
+
+
+class TestBatchedTransmission:
+    """transmit()'s stacked-FFT fast path must be bitwise scalar.
+
+    Both engine modes route multi-source free-field groups through
+    this path, so no CLI diff can catch a drift — only this pin can.
+    """
+
+    def _sources(self, n):
+        return [
+            _source(1000.0 * (i + 1), Position(0.2 * i, 0.0, 0.0))
+            for i in range(n)
+        ]
+
+    def test_multi_source_transmit_bitwise_equals_per_source_mix(self):
+        from repro.dsp.signals import mix
+
+        channel = AcousticChannel(ambient_noise_spl=None)
+        sources = self._sources(4)
+        receiver = Position(3.0, 0.5, 0.0)
+        fast = channel.transmit(sources, receiver)
+        slow = mix(
+            [
+                channel._transmit_one(
+                    s.pressure_at_1m, s.position, receiver
+                )
+                for s in sources
+            ]
+        )
+        assert np.array_equal(fast.samples, slow.samples)
+
+    def test_subclassed_propagation_takes_scalar_path(self):
+        class TaggedPropagation(PropagationModel):
+            pass
+
+        channel = AcousticChannel(
+            ambient_noise_spl=None, propagation=TaggedPropagation()
+        )
+        other = AcousticChannel(ambient_noise_spl=None)
+        sources = self._sources(3)
+        receiver = Position(2.0, 0.0, 0.0)
+        assert np.array_equal(
+            channel.transmit(sources, receiver).samples,
+            other.transmit(sources, receiver).samples,
+        )
+
+    def test_ambient_batch_rejects_none_generators(self):
+        channel = AcousticChannel(ambient_noise_spl=40.0)
+        clean = channel.transmit(
+            self._sources(1), Position(1.0, 0.0, 0.0)
+        )
+        with pytest.raises(SignalDomainError, match="generator"):
+            channel.ambient_batch(clean, [None])

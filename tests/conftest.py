@@ -19,6 +19,32 @@ from repro.speech.commands import synthesize_command
 from repro.speech.recognizer import KeywordRecognizer
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/ reference tables from the current "
+        "code instead of comparing against them",
+    )
+
+
+@pytest.fixture(scope="session")
+def experiment_tables():
+    """Every experiment's quick-mode table (seed 0, batched engine).
+
+    Session-scoped and shared by the structural experiment tests, the
+    golden-trace comparisons and the batch-equivalence suite, so the
+    full 15-experiment sweep runs exactly once per pytest session.
+    """
+    from repro.experiments import ALL_EXPERIMENTS
+
+    return {
+        name: module.run(quick=True, seed=0)
+        for name, module in ALL_EXPERIMENTS.items()
+    }
+
+
 @pytest.fixture()
 def rng() -> np.random.Generator:
     """A fresh deterministic generator per test."""

@@ -5,6 +5,7 @@ import pytest
 
 from repro.defense.features import (
     FEATURE_NAMES,
+    feature_matrix,
     feature_vector,
     features_from_analysis,
 )
@@ -111,3 +112,37 @@ class TestFeatureVector:
         assert np.allclose(
             features_from_analysis(analysis), feature_vector(recording)
         )
+
+
+class TestBatchedFeatureEquivalence:
+    """feature_matrix must be bitwise feature_vector, however grouped.
+
+    build_dataset (and through it every defense experiment) relies on
+    this equality; it is pinned here, not just in the benchmark.
+    """
+
+    def _recordings(self, rng):
+        return [
+            white_noise(1.0, 16000.0, rng)
+            + tone(440.0, 1.0, 16000.0, amplitude=0.2)
+            for _ in range(3)
+        ] + [white_noise(0.5, 48000.0, rng)]
+
+    def test_matrix_rows_bitwise_equal_vectors(self, rng):
+        recordings = self._recordings(rng)
+        matrix = feature_matrix(recordings)
+        stacked = np.stack([feature_vector(r) for r in recordings])
+        assert np.array_equal(matrix, stacked)
+
+    def test_subset_selection_matches(self, rng):
+        recordings = self._recordings(rng)[:2]
+        subset = ("trace_power_db", "voice_power_db")
+        matrix = feature_matrix(recordings, subset=subset)
+        stacked = np.stack(
+            [feature_vector(r, subset=subset) for r in recordings]
+        )
+        assert np.array_equal(matrix, stacked)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(DefenseError):
+            feature_matrix([])

@@ -1,0 +1,258 @@
+"""Unit and equivalence tests for the vectorized batch trial kernel.
+
+The contract under test is strict: the batched pipeline must be
+*bitwise* identical to the scalar per-trial loop — same successes,
+same DTW distances, same recorded waveforms — for every supported
+group, and must fall back to the scalar path (rather than silently
+diverge) for hardware models it cannot prove equivalent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dsp.signals import Signal, SignalBatch
+from repro.errors import ExperimentError, SignalDomainError
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments._emissions import ATTACKER_POSITION, single_full
+from repro.hardware.microphone import Microphone
+from repro.sim.batch import run_group_batch, supports_batch
+from repro.sim.engine import EmissionSpec, ExperimentEngine, TrialGroup
+from repro.sim.runner import ScenarioRunner
+from repro.sim.scenario import Scenario, VictimDevice
+
+
+@pytest.fixture(scope="module")
+def phone_device():
+    return VictimDevice.phone(commands=("ok_google",), seed=91)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return Scenario(
+        command="ok_google",
+        attacker_position=ATTACKER_POSITION,
+        victim_position=ATTACKER_POSITION.translated(2.0, 0.0, 0.0),
+    )
+
+
+@pytest.fixture(scope="module")
+def emission_spec():
+    return EmissionSpec(single_full, ("ok_google", 5))
+
+
+def outcomes_identical(a, b, compare_recordings=True) -> bool:
+    if len(a) != len(b):
+        return False
+    for x, y in zip(a, b):
+        if (
+            x.success != y.success
+            or x.recognized_command != y.recognized_command
+            or x.accepted != y.accepted
+            or x.distance != y.distance
+        ):
+            return False
+        if compare_recordings:
+            if (x.recording is None) != (y.recording is None):
+                return False
+            if x.recording is not None and not np.array_equal(
+                x.recording.samples, y.recording.samples
+            ):
+                return False
+    return True
+
+
+class TestSignalBatch:
+    def test_rejects_one_dimensional_input(self):
+        with pytest.raises(SignalDomainError, match="2-D"):
+            SignalBatch(np.zeros(8), 100.0)
+
+    def test_signal_rejects_batch_shaped_input(self):
+        with pytest.raises(SignalDomainError, match="SignalBatch"):
+            Signal(np.zeros((2, 8)), 100.0)
+
+    def test_from_signals_rejects_mixed_lengths(self):
+        with pytest.raises(SignalDomainError, match="equal lengths"):
+            SignalBatch.from_signals(
+                [Signal(np.zeros(8), 100.0), Signal(np.zeros(9), 100.0)]
+            )
+
+    def test_from_signals_rejects_mixed_rates(self):
+        from repro.errors import SampleRateError
+
+        with pytest.raises(SampleRateError):
+            SignalBatch.from_signals(
+                [Signal(np.zeros(8), 100.0), Signal(np.zeros(8), 200.0)]
+            )
+
+    def test_tiled_rows_round_trip(self):
+        source = Signal(np.arange(5, dtype=float), 10.0)
+        batch = SignalBatch.tiled(source, 3)
+        assert batch.n_signals == 3
+        assert batch.n_samples == 5
+        for row in batch.signals():
+            assert np.array_equal(row.samples, source.samples)
+            assert row.sample_rate == source.sample_rate
+
+    def test_row_index_validated(self):
+        batch = SignalBatch(np.zeros((2, 4)), 10.0)
+        with pytest.raises(SignalDomainError):
+            batch.row(2)
+
+    def test_duration_uses_last_axis(self):
+        batch = SignalBatch(np.zeros((7, 100)), 50.0)
+        assert batch.duration == pytest.approx(2.0)
+        assert len(batch) == 7
+
+
+class TestKernelEquivalence:
+    @pytest.fixture(scope="class")
+    def pair(self, scenario, phone_device, emission_spec):
+        group = TrialGroup(scenario, phone_device, emission_spec, 3)
+        runner = ScenarioRunner(scenario, phone_device)
+        sources = group.resolve_sources()
+        scalar = [
+            runner.run_trial(sources, rng)
+            for rng in np.random.default_rng(5).spawn(3)
+        ]
+        batched = run_group_batch(
+            group, np.random.default_rng(5).spawn(3)
+        )
+        return scalar, batched
+
+    def test_outcomes_bitwise_identical(self, pair):
+        scalar, batched = pair
+        assert outcomes_identical(scalar, batched)
+
+    def test_batch_of_one_is_exactly_scalar(
+        self, scenario, phone_device, emission_spec
+    ):
+        group = TrialGroup(scenario, phone_device, emission_spec, 1)
+        runner = ScenarioRunner(scenario, phone_device)
+        (rng_a,) = np.random.default_rng(11).spawn(1)
+        (rng_b,) = np.random.default_rng(11).spawn(1)
+        scalar = runner.run_trial(group.resolve_sources(), rng_a)
+        (batched,) = run_group_batch(group, [rng_b])
+        assert outcomes_identical([scalar], [batched])
+
+    def test_keep_recordings_false_strips_only_waveforms(
+        self, scenario, phone_device, emission_spec, pair
+    ):
+        group = TrialGroup(scenario, phone_device, emission_spec, 3)
+        stripped = run_group_batch(
+            group,
+            np.random.default_rng(5).spawn(3),
+            keep_recordings=False,
+        )
+        assert all(o.recording is None for o in stripped)
+        assert outcomes_identical(
+            pair[1], stripped, compare_recordings=False
+        )
+
+    def test_empty_generator_list_rejected(
+        self, scenario, phone_device, emission_spec
+    ):
+        group = TrialGroup(scenario, phone_device, emission_spec, 1)
+        with pytest.raises(ExperimentError):
+            run_group_batch(group, [])
+
+
+class _TracingMicrophone(Microphone):
+    """A microphone subclass the kernel must refuse to vectorize."""
+
+
+class TestFallback:
+    def test_standard_group_supported(
+        self, scenario, phone_device, emission_spec
+    ):
+        group = TrialGroup(scenario, phone_device, emission_spec, 2)
+        assert supports_batch(group)
+
+    def test_subclassed_microphone_unsupported(
+        self, scenario, phone_device, emission_spec
+    ):
+        device = VictimDevice(
+            name="custom",
+            microphone=_TracingMicrophone(
+                phone_device.microphone.config
+            ),
+            recognizer=phone_device.recognizer,
+        )
+        group = TrialGroup(scenario, device, emission_spec, 2)
+        assert not supports_batch(group)
+
+    def test_direct_kernel_call_refuses_unsupported_group(
+        self, scenario, phone_device, emission_spec
+    ):
+        device = VictimDevice(
+            name="custom",
+            microphone=_TracingMicrophone(
+                phone_device.microphone.config
+            ),
+            recognizer=phone_device.recognizer,
+        )
+        group = TrialGroup(scenario, device, emission_spec, 1)
+        with pytest.raises(ExperimentError, match="equivalence"):
+            run_group_batch(group, np.random.default_rng(0).spawn(1))
+
+    def test_engine_falls_back_to_identical_scalar_results(
+        self, scenario, phone_device, emission_spec
+    ):
+        device = VictimDevice(
+            name="custom",
+            microphone=_TracingMicrophone(
+                phone_device.microphone.config
+            ),
+            recognizer=phone_device.recognizer,
+        )
+        group = TrialGroup(scenario, device, emission_spec, 2)
+
+        def run(batch):
+            with ExperimentEngine(jobs=1, batch=batch) as engine:
+                return engine.run_trial_groups(
+                    [group], np.random.default_rng(9)
+                )[0]
+
+        assert outcomes_identical(run(True), run(False))
+
+
+class TestEngineBatchFlag:
+    def test_non_boolean_batch_rejected(self):
+        with pytest.raises(ExperimentError):
+            ExperimentEngine(jobs=1, batch="yes")
+
+    def test_batch_defaults_on(self):
+        assert ExperimentEngine(jobs=1).batch is True
+
+    def test_per_call_override(
+        self, scenario, phone_device, emission_spec
+    ):
+        group = TrialGroup(scenario, phone_device, emission_spec, 2)
+        with ExperimentEngine(jobs=1, batch=False) as engine:
+            default_off = engine.run_trial_groups(
+                [group], np.random.default_rng(21)
+            )[0]
+            forced_on = engine.run_trial_groups(
+                [group], np.random.default_rng(21), batch=True
+            )[0]
+        assert outcomes_identical(default_off, forced_on)
+
+
+class TestAllExperimentsEquivalence:
+    """Satellite guarantee: batch on/off is invisible to every table."""
+
+    @pytest.fixture(scope="class")
+    def scalar_tables(self):
+        with ExperimentEngine(jobs=1, batch=False) as engine:
+            return {
+                name: module.run(quick=True, seed=0, engine=engine)
+                for name, module in ALL_EXPERIMENTS.items()
+            }
+
+    @pytest.mark.parametrize("name", sorted(ALL_EXPERIMENTS))
+    def test_batch_and_scalar_render_identically(
+        self, name, experiment_tables, scalar_tables
+    ):
+        assert (
+            experiment_tables[name].render()
+            == scalar_tables[name].render()
+        )

@@ -1,8 +1,10 @@
 """Structural tests for every reproduction experiment.
 
-Each experiment runs once in quick mode (module-scoped cache) and its
-table is checked for the *shape* properties the paper reports — these
-are the assertions that make the reproduction claims executable.
+Each experiment runs once in quick mode (via the session-scoped
+``experiment_tables`` fixture shared with the golden-trace and
+batch-equivalence suites) and its table is checked for the *shape*
+properties the paper reports — these are the assertions that make the
+reproduction claims executable.
 """
 
 import pytest
@@ -12,12 +14,9 @@ from repro.experiments.__main__ import build_parser, main
 
 
 @pytest.fixture(scope="module")
-def tables():
-    """Run every experiment once (quick mode) and cache the tables."""
-    return {
-        name: module.run(quick=True, seed=0)
-        for name, module in ALL_EXPERIMENTS.items()
-    }
+def tables(experiment_tables):
+    """The session-wide quick-mode tables (seed 0)."""
+    return experiment_tables
 
 
 class TestHarness:
@@ -183,6 +182,11 @@ class TestCli:
     def test_parser_jobs_flag(self):
         args = build_parser().parse_args(["T2", "--jobs", "4"])
         assert args.jobs == 4
+
+    def test_parser_no_batch_flag(self):
+        args = build_parser().parse_args(["T2", "--no-batch"])
+        assert args.no_batch is True
+        assert build_parser().parse_args(["T2"]).no_batch is False
 
     def test_invalid_jobs_is_a_clean_cli_error(self, capsys):
         assert main(["F1", "--jobs", "0"]) == 2

@@ -1,0 +1,55 @@
+"""Golden-trace regression suite.
+
+``tests/golden/`` holds the rendered quick-mode output table (seed 0)
+of every experiment, frozen at the time the references were last
+blessed. The comparison is *textual byte equality*: any change to a
+success rate, a detector verdict, a measured range or even a column
+header fails loudly here — which is exactly what makes refactors such
+as the vectorized batch kernel safe to land.
+
+To re-bless after an intentional change::
+
+    pytest tests/test_golden.py --update-golden
+
+and review the resulting ``tests/golden/`` diff like any other code.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+@pytest.mark.parametrize("name", sorted(ALL_EXPERIMENTS))
+def test_table_matches_golden(name, experiment_tables, request):
+    """The rendered quick-mode table is byte-identical to the fixture."""
+    rendered = experiment_tables[name].render() + "\n"
+    path = GOLDEN_DIR / f"{name}.txt"
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(rendered)
+        return
+    if not path.exists():
+        pytest.fail(
+            f"no golden fixture for {name}; record one with "
+            "`pytest tests/test_golden.py --update-golden`"
+        )
+    expected = path.read_text()
+    assert rendered == expected, (
+        f"{name} quick-mode output drifted from tests/golden/{name}.txt; "
+        "if the change is intentional, re-bless with "
+        "`pytest tests/test_golden.py --update-golden` and commit the diff"
+    )
+
+
+def test_no_stale_golden_fixtures():
+    """Every golden file corresponds to a registered experiment."""
+    stale = [
+        path.name
+        for path in GOLDEN_DIR.glob("*.txt")
+        if path.stem not in ALL_EXPERIMENTS
+    ]
+    assert not stale, f"golden fixtures without experiments: {stale}"

@@ -18,8 +18,18 @@ from repro.dsp.measures import (
     normalized_correlation,
     power_ratio_to_db,
 )
-from repro.dsp.resample import rational_ratio
-from repro.dsp.signals import Signal, tone
+from repro.acoustics.propagation import PropagationModel
+from repro.dsp.filters import (
+    band_pass,
+    band_pass_array,
+    high_pass,
+    high_pass_array,
+    low_pass,
+    low_pass_array,
+)
+from repro.dsp.resample import rational_ratio, resample, resample_array
+from repro.dsp.signals import Signal, Unit, tone
+from repro.dsp.spectrum import welch_psd, welch_psd_matrix
 from repro.dsp.windows import blackman, hamming, hann
 from repro.hardware.nonlinearity import PolynomialNonlinearity
 from repro.psychoacoustics.threshold import hearing_threshold_spl
@@ -156,6 +166,171 @@ class TestResampleProperties:
     def test_rational_ratio_exact(self, target, source):
         up, down = rational_ratio(target, source)
         assert source * up / down == np.float64(target)
+
+
+#: Strategy pieces shared by the batched-vs-scalar properties: random
+#: batch shapes, amplitudes and (realistic) sample rates, per the
+#: equivalence contract of the vectorized trial kernel.
+batch_rows = st.integers(min_value=1, max_value=4)
+batch_samples = st.integers(min_value=128, max_value=512)
+batch_amplitudes = st.floats(min_value=1e-3, max_value=1e3)
+batch_rates = st.sampled_from([8000.0, 16000.0, 48000.0, 192000.0])
+batch_seeds = st.integers(min_value=0, max_value=2**31)
+
+
+def _random_batch(seed, rows, samples, amplitude):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(rows, samples)) * amplitude
+
+
+class TestBatchedFilteringProperties:
+    """Axis-aware filtering == per-row scalar filtering (rtol 1e-9)."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(batch_seeds, batch_rows, batch_samples, batch_amplitudes, batch_rates)
+    def test_low_pass_array_matches_scalar_rows(
+        self, seed, rows, samples, amplitude, rate
+    ):
+        x = _random_batch(seed, rows, samples, amplitude)
+        cutoff = 0.2 * rate
+        batched = low_pass_array(x, rate, cutoff, order=4)
+        for row_in, row_out in zip(x, batched):
+            scalar = low_pass(Signal(row_in, rate), cutoff, order=4)
+            assert np.allclose(
+                row_out, scalar.samples, rtol=1e-9, atol=1e-12 * amplitude
+            )
+
+    @settings(max_examples=15, deadline=None)
+    @given(batch_seeds, batch_rows, batch_samples, batch_amplitudes, batch_rates)
+    def test_band_pass_array_matches_scalar_rows(
+        self, seed, rows, samples, amplitude, rate
+    ):
+        x = _random_batch(seed, rows, samples, amplitude)
+        low, high = 0.05 * rate, 0.3 * rate
+        batched = band_pass_array(x, rate, low, high, order=4)
+        for row_in, row_out in zip(x, batched):
+            scalar = band_pass(Signal(row_in, rate), low, high, order=4)
+            assert np.allclose(
+                row_out, scalar.samples, rtol=1e-9, atol=1e-12 * amplitude
+            )
+
+    @settings(max_examples=10, deadline=None)
+    @given(batch_seeds, batch_samples, batch_amplitudes, batch_rates)
+    def test_batch_of_one_is_exactly_scalar(
+        self, seed, samples, amplitude, rate
+    ):
+        x = _random_batch(seed, 1, samples, amplitude)
+        cutoff = 0.25 * rate
+        assert np.array_equal(
+            high_pass_array(x, rate, cutoff, order=2)[0],
+            high_pass(Signal(x[0], rate), cutoff, order=2).samples,
+        )
+
+
+class TestBatchedNonlinearityProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        batch_seeds,
+        batch_rows,
+        st.integers(min_value=4, max_value=128),
+        batch_amplitudes,
+        st.floats(min_value=-0.3, max_value=0.3),
+        st.floats(min_value=-0.05, max_value=0.05),
+    )
+    def test_batched_polynomial_matches_scalar_rows(
+        self, seed, rows, samples, amplitude, a2, a3
+    ):
+        nl = PolynomialNonlinearity((1.0, a2, a3))
+        x = _random_batch(seed, rows, samples, amplitude)
+        batched = nl.apply_array(x)
+        for row_in, row_out in zip(x, batched):
+            assert np.array_equal(row_out, nl.apply_array(row_in))
+
+
+class TestBatchedPropagationProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        batch_seeds,
+        batch_rows,
+        st.sampled_from([48, 200, 512]),
+        batch_amplitudes,
+        st.sampled_from([16000.0, 192000.0]),
+    )
+    def test_propagate_batch_matches_scalar_rows(
+        self, seed, rows, samples, amplitude, rate
+    ):
+        model = PropagationModel()
+        x = _random_batch(seed, rows, samples, amplitude)
+        rng = np.random.default_rng(seed + 1)
+        distances = rng.uniform(0.5, 8.0, size=rows)
+        batched = model.propagate_batch(x, rate, distances)
+        for row_in, row_out, distance in zip(x, batched, distances):
+            scalar = model.propagate(
+                Signal(row_in, rate, Unit.PASCAL), float(distance)
+            )
+            padded = np.zeros(batched.shape[-1])
+            padded[: scalar.n_samples] = scalar.samples
+            assert np.allclose(
+                row_out, padded, rtol=1e-9, atol=1e-12 * amplitude
+            )
+
+    @settings(max_examples=6, deadline=None)
+    @given(batch_seeds, st.integers(min_value=2, max_value=5))
+    def test_propagate_batch_is_bitwise_scalar(self, seed, rows):
+        """Every golden table depends on this equality holding exactly.
+
+        `AcousticChannel.transmit` routes multi-source free-field
+        groups through `propagate_batch` in *both* engine modes, so
+        the `--no-batch` CLI diff cannot catch a drift between the
+        stacked-FFT path and per-source `propagate` + `mix` — this
+        test is the bitwise pin that can.
+        """
+        from repro.dsp.signals import mix
+
+        model = PropagationModel()
+        # > 64 rfft bins, exercising the interpolated-absorption branch.
+        x = _random_batch(seed, rows, 4096, 1.0)
+        distances = np.random.default_rng(seed + 1).uniform(
+            0.5, 10.0, size=rows
+        )
+        batched = model.propagate_batch(x, 192000.0, distances)
+        scalar = mix(
+            [
+                model.propagate(
+                    Signal(row, 192000.0, Unit.PASCAL), float(distance)
+                )
+                for row, distance in zip(x, distances)
+            ]
+        )
+        summed = batched[0].copy()
+        for row in batched[1:]:
+            summed = np.add(summed, row)
+        assert np.array_equal(summed, scalar.samples)
+
+
+class TestBatchedSpectrumResampleProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(batch_seeds, batch_rows, batch_samples, batch_amplitudes, batch_rates)
+    def test_welch_matrix_matches_scalar_rows(
+        self, seed, rows, samples, amplitude, rate
+    ):
+        x = _random_batch(seed, rows, samples, amplitude)
+        freqs, psd = welch_psd_matrix(x, rate, segment_length=128)
+        for row_in, row_psd in zip(x, psd):
+            scalar = welch_psd(Signal(row_in, rate), segment_length=128)
+            assert np.array_equal(freqs, scalar.frequencies)
+            assert np.array_equal(row_psd, scalar.psd)
+
+    @settings(max_examples=10, deadline=None)
+    @given(batch_seeds, batch_rows, batch_samples, batch_amplitudes)
+    def test_resample_array_matches_scalar_rows(
+        self, seed, rows, samples, amplitude
+    ):
+        x = _random_batch(seed, rows, samples, amplitude)
+        batched = resample_array(x, 48000.0, 16000.0)
+        for row_in, row_out in zip(x, batched):
+            scalar = resample(Signal(row_in, 48000.0), 16000.0)
+            assert np.array_equal(row_out, scalar.samples)
 
 
 class TestCorrelationProperties:
