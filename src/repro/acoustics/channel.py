@@ -78,15 +78,26 @@ class AcousticChannel:
             Random generator for the ambient noise. Required when
             ``ambient_noise_spl`` is set, to keep runs reproducible.
         """
-        total = self.transmit(sources, receiver)
-        if self.ambient_noise_spl is not None:
-            if rng is None:
-                raise SignalDomainError(
-                    "ambient noise enabled but no random generator given; "
-                    "pass rng or set ambient_noise_spl=None"
-                )
-            total = total + self._ambient_noise(total, rng)
-        return total
+        return self.add_ambient(self.transmit(sources, receiver), rng)
+
+    def add_ambient(
+        self, total: Signal, rng: np.random.Generator | None
+    ) -> Signal:
+        """Add one trial's ambient-noise draw to a clean waveform.
+
+        The stochastic half of :meth:`receive`, exposed so callers
+        that assemble the clean waveform themselves (the scenario
+        runner sums attack, motion and interference contributions
+        first) add noise through the *same* code path and draw.
+        """
+        if self.ambient_noise_spl is None:
+            return total
+        if rng is None:
+            raise SignalDomainError(
+                "ambient noise enabled but no random generator given; "
+                "pass rng or set ambient_noise_spl=None"
+            )
+        return total + self._ambient_noise(total, rng)
 
     def transmit(
         self, sources: list[PlacedSource], receiver: Position
@@ -99,9 +110,12 @@ class AcousticChannel:
         per trial group. Free-field transmissions of equal-length
         sources run through
         :meth:`~repro.acoustics.propagation.PropagationModel.propagate_batch`
-        (one stacked FFT for the whole rig); rooms, mixed lengths and
-        subclassed propagation models take the per-source scalar path.
-        Both produce bitwise identical sums.
+        (one stacked FFT for the whole rig); room transmissions stack
+        each source's direct + six image paths through the same kernel
+        (:meth:`~repro.acoustics.room.ImageSourceRoomModel.transmit_batch`);
+        mixed lengths and subclassed propagation models take the
+        per-source, per-path scalar path. All produce bitwise
+        identical sums.
         """
         if not sources:
             raise SignalDomainError("receive requires at least one source")
@@ -109,6 +123,21 @@ class AcousticChannel:
         if len(rates) != 1:
             raise SignalDomainError(
                 f"all sources must share one sample rate, got {sorted(rates)}"
+            )
+        if (
+            self.room is not None
+            and type(self.propagation) is PropagationModel
+        ):
+            model = ImageSourceRoomModel(
+                room=self.room, propagation=self.propagation
+            )
+            return mix(
+                [
+                    model.transmit_batch(
+                        source.pressure_at_1m, source.position, receiver
+                    )
+                    for source in sources
+                ]
             )
         lengths = {s.pressure_at_1m.n_samples for s in sources}
         batchable = (
@@ -166,18 +195,29 @@ class AcousticChannel:
         return self.ambient_batch(clean, rngs)
 
     def ambient_batch(
-        self, clean: Signal, rngs: list[np.random.Generator]
+        self,
+        clean: Signal | SignalBatch,
+        rngs: list[np.random.Generator],
     ) -> SignalBatch:
-        """Per-trial ambient-noise copies of one transmitted waveform.
+        """Per-trial ambient-noise copies of the transmitted waveform.
 
         The noise-adding half of :meth:`receive_batch`, split out so
         the trial kernel can pay for :meth:`transmit` once and then
-        stream trial chunks through here with bounded memory. Row
-        ``i`` adds the draw ``rngs[i]`` would make on the scalar path.
+        stream trial chunks through here with bounded memory. ``clean``
+        is either one shared waveform (static scenarios — every trial
+        hears the same transmission) or an already-stacked
+        ``(n_trials, n_samples)`` batch (mobile scenarios — each row
+        carries that trial's geometry gain). Row ``i`` of the result
+        adds the draw ``rngs[i]`` would make on the scalar path.
         """
         if not rngs:
             raise SignalDomainError(
                 "ambient_batch requires at least one trial generator"
+            )
+        if isinstance(clean, SignalBatch) and clean.n_signals != len(rngs):
+            raise SignalDomainError(
+                f"{clean.n_signals} stacked clean waveforms but "
+                f"{len(rngs)} trial generators"
             )
         if self.ambient_noise_spl is not None and any(
             rng is None for rng in rngs
@@ -188,6 +228,8 @@ class AcousticChannel:
                 "ambient_noise_spl=None"
             )
         if self.ambient_noise_spl is None:
+            if isinstance(clean, SignalBatch):
+                return clean
             return SignalBatch.tiled(clean, len(rngs))
         from repro.acoustics.spl import spl_to_pressure
 
@@ -198,7 +240,12 @@ class AcousticChannel:
         for index, rng in enumerate(rngs):
             noise = np.zeros(n)
             noise[:n_draw] = rng.normal(0.0, 1.0, n_draw) * rms_pa
-            rows[index] = np.add(clean.samples, noise)
+            row = (
+                clean.samples[index]
+                if isinstance(clean, SignalBatch)
+                else clean.samples
+            )
+            rows[index] = np.add(row, noise)
         return SignalBatch(rows, clean.sample_rate, Unit.PASCAL)
 
     def _transmit_one(

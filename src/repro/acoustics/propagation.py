@@ -96,6 +96,26 @@ class PropagationModel:
         gains[nonzero] = 10.0 ** (-loss_db / 20.0)
         return gains
 
+    def _bin_gains(
+        self, freqs: np.ndarray, distance_m: float
+    ) -> np.ndarray:
+        """Absorption gains per FFT bin, coarse-grained for speed.
+
+        ISO 9613-1 is evaluated on a 64-point log grid and
+        interpolated onto the bins, since per-bin evaluation of the
+        scalar model would dominate runtime for megasample signals.
+        Shared verbatim by :meth:`propagate` and
+        :meth:`propagate_batch` so the two paths are bitwise identical
+        per (waveform, distance) by construction.
+        """
+        if len(freqs) > 64:
+            grid = np.geomspace(
+                max(freqs[1], 1.0), max(freqs[-1], 2.0), num=64
+            )
+            grid_gain = self.absorption_gain(grid, distance_m)
+            return np.interp(freqs, grid, grid_gain, left=1.0)
+        return self.absorption_gain(freqs, distance_m)
+
     def propagate(self, pressure_at_1m: Signal, distance_m: float) -> Signal:
         """Propagate a pressure waveform from 1 m to ``distance_m``.
 
@@ -116,17 +136,7 @@ class PropagationModel:
         freqs = np.fft.rfftfreq(
             pressure_at_1m.n_samples, d=1.0 / pressure_at_1m.sample_rate
         )
-        # Coarse-grained absorption: evaluate ISO 9613-1 on a log grid
-        # and interpolate, since per-bin evaluation of the scalar model
-        # would dominate runtime for megasample signals.
-        if len(freqs) > 64:
-            grid = np.geomspace(
-                max(freqs[1], 1.0), max(freqs[-1], 2.0), num=64
-            )
-            grid_gain = self.absorption_gain(grid, distance_m)
-            gains = np.interp(freqs, grid, grid_gain, left=1.0)
-        else:
-            gains = self.absorption_gain(freqs, distance_m)
+        gains = self._bin_gains(freqs, distance_m)
         attenuated = np.fft.irfft(
             spectrum * gains, n=pressure_at_1m.n_samples
         )
@@ -140,6 +150,7 @@ class PropagationModel:
         pressures_at_1m: np.ndarray,
         sample_rate: float,
         distances_m: Sequence[float],
+        shared_input: bool = False,
     ) -> np.ndarray:
         """Propagate a stack of equal-length waveforms, one per path.
 
@@ -153,6 +164,13 @@ class PropagationModel:
         each row is bitwise identical to
         ``propagate(Signal(row), d)`` — summing the rows reproduces
         :func:`repro.dsp.signals.mix` of the scalar results.
+
+        ``shared_input`` declares that every row of the stack is the
+        *same* waveform (a room model fanning one source over its
+        reflection paths): the forward FFT is then computed once and
+        broadcast instead of once per row — bitwise identical output
+        (identical rows have identical spectra), ~``n_paths``× less
+        forward-FFT work.
         """
         stack = np.asarray(pressures_at_1m, dtype=np.float64)
         if stack.ndim != 2:
@@ -172,22 +190,18 @@ class PropagationModel:
                     f"distance must be positive, got {distance}"
                 )
         n = stack.shape[-1]
-        spectra = np.fft.rfft(stack, axis=-1)
+        if shared_input:
+            spectra = np.broadcast_to(
+                np.fft.rfft(stack[0]), (stack.shape[0], n // 2 + 1)
+            )
+        else:
+            spectra = np.fft.rfft(stack, axis=-1)
         freqs = np.fft.rfftfreq(n, d=1.0 / sample_rate)
         # Per-path gain rows via the same coarse-grid interpolation the
         # scalar path uses (bitwise identical per row).
         gain_rows = np.empty_like(spectra, dtype=np.float64)
         for index, distance in enumerate(distances):
-            if len(freqs) > 64:
-                grid = np.geomspace(
-                    max(freqs[1], 1.0), max(freqs[-1], 2.0), num=64
-                )
-                grid_gain = self.absorption_gain(grid, distance)
-                gain_rows[index] = np.interp(
-                    freqs, grid, grid_gain, left=1.0
-                )
-            else:
-                gain_rows[index] = self.absorption_gain(freqs, distance)
+            gain_rows[index] = self._bin_gains(freqs, distance)
         attenuated = np.fft.irfft(spectra * gain_rows, n=n, axis=-1)
         spreading = np.array(
             [1.0 / distance for distance in distances]

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.acoustics.geometry import Position, Room
 from repro.acoustics.propagation import PropagationModel
 from repro.dsp.signals import Signal, mix
@@ -106,3 +108,40 @@ class ImageSourceRoomModel:
             )
             contributions.append(received * path.amplitude_factor)
         return mix(contributions)
+
+    def transmit_batch(
+        self, pressure_at_1m: Signal, source: Position, receiver: Position
+    ) -> Signal:
+        """:meth:`transmit` through the stacked per-path FFT kernel.
+
+        The direct path and the six first-order images are stacked into
+        one :meth:`~repro.acoustics.propagation.PropagationModel.propagate_batch`
+        call — a single two-dimensional FFT for the whole reflection
+        fan — and the rows are folded in path order with their wall
+        amplitude factors. Because ``propagate_batch`` is bitwise
+        identical per row to ``propagate`` and the fold replicates
+        :func:`~repro.dsp.signals.mix`'s zero-padded left fold, the
+        result is bitwise identical to :meth:`transmit`.
+
+        Only valid for the stock :class:`PropagationModel`: a subclass
+        overriding ``propagate`` would be silently bypassed here, so
+        callers (the acoustic channel) must route subclassed models
+        through the scalar path.
+        """
+        paths = self.paths(source, receiver)
+        stack = np.broadcast_to(
+            pressure_at_1m.samples,
+            (len(paths), pressure_at_1m.n_samples),
+        )
+        arrived = self.propagation.propagate_batch(
+            stack,
+            pressure_at_1m.sample_rate,
+            [path.distance_m for path in paths],
+            shared_input=True,
+        )
+        total = arrived[0] * paths[0].amplitude_factor
+        for row, path in zip(arrived[1:], paths[1:]):
+            total = np.add(total, row * path.amplitude_factor)
+        return Signal(
+            total, pressure_at_1m.sample_rate, pressure_at_1m.unit
+        )

@@ -12,20 +12,39 @@ Add ``--full`` for the full-resolution sweeps recorded in
 EXPERIMENTS.md, ``--seed N`` to vary the master seed, and ``--jobs N``
 to bound the worker pool (default: all CPU cores; ``--jobs 1`` runs
 serially). ``--no-batch`` disables the vectorized batch trial kernel
-and walks the scalar per-trial loop instead. Rendered tables go to
-stdout and are byte-identical for every ``--jobs`` value and for both
-batch modes; per-experiment timings go to stderr.
+and walks the scalar per-trial loop instead. ``--scenario NAME`` runs
+scenario-capable experiments in a registered environment
+(``repro.sim.spec``): a reverberant room, a walking attacker, TV
+interference, outdoor wind. Rendered tables go to stdout and are
+byte-identical for every ``--jobs`` value and for both batch modes;
+per-experiment timings go to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
 from repro.errors import ExperimentError
 from repro.experiments import ALL_EXPERIMENTS
 from repro.sim.engine import ExperimentEngine
+from repro.sim.spec import scenario_names
+
+
+def _supports_scenario(module) -> bool:
+    """Whether an experiment's ``run`` accepts a ``scenario`` kwarg."""
+    return "scenario" in inspect.signature(module.run).parameters
+
+
+def scenario_capable_experiments() -> list[str]:
+    """IDs of experiments that accept ``--scenario``."""
+    return sorted(
+        name
+        for name, module in ALL_EXPERIMENTS.items()
+        if _supports_scenario(module)
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -59,6 +78,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the vectorized batch trial kernel (scalar "
         "per-trial loop; identical output, slower)",
     )
+    parser.add_argument(
+        "--scenario",
+        default="free_field",
+        choices=scenario_names(),
+        help="environment to run in (default: free_field); applies to "
+        "the scenario-capable experiments (%s)"
+        % ", ".join(scenario_capable_experiments()),
+    )
     return parser
 
 
@@ -68,8 +95,27 @@ def main(argv: list[str] | None = None) -> int:
     requested = args.experiment.upper()
     if requested == "ALL":
         names = list(ALL_EXPERIMENTS)
+        if args.scenario != "free_field":
+            capable = scenario_capable_experiments()
+            skipped = [name for name in names if name not in capable]
+            names = [name for name in names if name in capable]
+            print(
+                f"scenario {args.scenario!r}: running the "
+                f"scenario-capable experiments {names}; skipping "
+                f"{skipped}",
+                file=sys.stderr,
+            )
     elif requested in ALL_EXPERIMENTS:
         names = [requested]
+        if args.scenario != "free_field" and not _supports_scenario(
+            ALL_EXPERIMENTS[requested]
+        ):
+            print(
+                f"experiment {requested} does not take --scenario; "
+                f"scenario-capable: {scenario_capable_experiments()}",
+                file=sys.stderr,
+            )
+            return 2
     else:
         print(
             f"unknown experiment {args.experiment!r}; choose from "
@@ -87,9 +133,16 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     with engine:
         for name in names:
+            module = ALL_EXPERIMENTS[name]
+            kwargs = {}
+            if _supports_scenario(module):
+                kwargs["scenario"] = args.scenario
             started = time.time()
-            table = ALL_EXPERIMENTS[name].run(
-                quick=not args.full, seed=args.seed, engine=engine
+            table = module.run(
+                quick=not args.full,
+                seed=args.seed,
+                engine=engine,
+                **kwargs,
             )
             elapsed = time.time() - started
             print(

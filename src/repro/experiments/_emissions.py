@@ -19,7 +19,6 @@ fresh ``default_rng(seed)`` via :func:`repro.sim.engine.cached_voice`.
 
 from __future__ import annotations
 
-from repro.acoustics.geometry import Position
 from repro.attack.array import grid_array
 from repro.attack.attacker import (
     LongRangeAttacker,
@@ -30,9 +29,12 @@ from repro.attack.attacker import (
 from repro.attack.pipeline import AttackPipelineConfig
 from repro.hardware.devices import horn_tweeter, ultrasonic_piezo_element
 from repro.sim.engine import cached_voice
+from repro.sim.spec import RIG_POSITION
 
-#: Rig centroid shared by every experiment in the suite.
-ATTACKER_POSITION = Position(0.0, 2.0, 1.0)
+#: Rig centroid shared by every experiment in the suite — the same
+#: point every registered scenario (repro.sim.spec) is built around,
+#: so emissions stay valid in every environment.
+ATTACKER_POSITION = RIG_POSITION
 
 
 def single_full(

@@ -10,21 +10,20 @@ Two operating modes of the baseline rig:
 
 Every (distance, mode) cell is one trial group; the engine runs them
 all in a single wave, reusing each mode's emission from the process
-cache at every distance.
+cache at every distance. ``scenario`` swaps the environment (room,
+interference, motion, weather) from the ``repro.sim.spec`` registry;
+sweep distances that do not fit the chosen room are dropped.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments._emissions import (
-    ATTACKER_POSITION,
-    single_full,
-    single_inaudible,
-)
+from repro.experiments._emissions import single_full, single_inaudible
 from repro.sim.engine import EmissionSpec, ExperimentEngine, TrialGroup
 from repro.sim.results import ResultTable
-from repro.sim.scenario import Scenario, VictimDevice
+from repro.sim.scenario import VictimDevice
+from repro.sim.spec import get_scenario
 
 
 def run(
@@ -33,19 +32,18 @@ def run(
     command: str = "ok_google",
     jobs: int = 1,
     engine: ExperimentEngine | None = None,
+    scenario: str = "free_field",
 ) -> ResultTable:
     """Success rate by distance for both drive modes."""
+    spec = get_scenario(scenario)
     rng = np.random.default_rng(seed)
     distances = (0.5, 1.0, 2.0, 3.0) if quick else (
         0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0
     )
+    distances = spec.clamp_distances(distances)
     n_trials = 3 if quick else 10
     device = VictimDevice.phone(seed=seed + 1)
-    base = Scenario(
-        command=command,
-        attacker_position=ATTACKER_POSITION,
-        victim_position=ATTACKER_POSITION.translated(1.0, 0.0, 0.0),
-    )
+    base = spec.build(command, distance_m=1.0)
     full_spec = EmissionSpec(single_full, (command, seed))
     capped_spec = EmissionSpec(single_inaudible, (command, seed))
     capped_level = capped_spec.emission().drive_level
@@ -60,6 +58,7 @@ def run(
         title=(
             "F3: single-speaker success rate vs distance "
             f"(inaudible cap drive = {capped_level:.3f})"
+            + spec.title_suffix()
         ),
         columns=["distance m", "full drive", "inaudible drive"],
     )

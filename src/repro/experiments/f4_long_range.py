@@ -14,20 +14,22 @@ and the 61-speaker point landing in the same several-metres regime.
 Range searches are adaptive (each probe depends on the last), so rigs
 run in sequence — but every probe's trials fan out over the engine's
 pool, and probed distances are memoised so none is measured twice.
+
+``scenario`` selects the environment from the ``repro.sim.spec``
+registry; room scenarios cap the search ceiling at the room's +x
+interior span so the bisection never probes through a wall, and the
+measured range then reads as "as far as the room allows".
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments._emissions import (
-    ATTACKER_POSITION,
-    array_split,
-    single_inaudible,
-)
+from repro.experiments._emissions import array_split, single_inaudible
 from repro.sim.engine import EmissionSpec, ExperimentEngine
 from repro.sim.results import ResultTable
-from repro.sim.scenario import Scenario, VictimDevice
+from repro.sim.scenario import VictimDevice
+from repro.sim.spec import get_scenario
 
 
 def run(
@@ -36,42 +38,44 @@ def run(
     command: str = "ok_google",
     jobs: int = 1,
     engine: ExperimentEngine | None = None,
+    scenario: str = "free_field",
 ) -> ResultTable:
     """Measure attack range for a sweep of array sizes."""
+    spec = get_scenario(scenario)
     rng = np.random.default_rng(seed)
     speaker_counts = (4, 16) if quick else (2, 4, 8, 16, 32, 61)
     n_trials = 2 if quick else 4
     resolution = 0.5 if quick else 0.25
+    max_distance = spec.max_distance_m(16.0)
     device = VictimDevice.phone(seed=seed + 1)
-    scenario = Scenario(
-        command=command,
-        attacker_position=ATTACKER_POSITION,
-        victim_position=ATTACKER_POSITION.translated(1.0, 0.0, 0.0),
-    )
+    built = spec.build(command, distance_m=1.0)
     table = ResultTable(
         title=(
             "F4: attack range vs number of speakers (all rigs "
             "inaudible to a bystander at 0.5 m)"
+            + spec.title_suffix()
         ),
         columns=["speakers", "rig", "range m"],
     )
     with ExperimentEngine.scoped(engine, jobs) as eng:
         range_single = eng.attack_range_m(
-            scenario,
+            built,
             device,
             EmissionSpec(single_inaudible, (command, seed)),
             rng,
             n_trials=n_trials,
+            max_distance_m=max_distance,
             resolution_m=resolution,
         )
         table.add_row(1, "single wideband (capped)", range_single)
         for n_speakers in speaker_counts:
             measured = eng.attack_range_m(
-                scenario,
+                built,
                 device,
                 EmissionSpec(array_split, (command, seed, n_speakers)),
                 rng,
                 n_trials=n_trials,
+                max_distance_m=max_distance,
                 resolution_m=resolution,
             )
             table.add_row(n_speakers, "split array", measured)

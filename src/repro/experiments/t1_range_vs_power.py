@@ -10,20 +10,20 @@ precursor paper did.
 
 Each (device, power) range search is adaptive and therefore
 sequential, but every probe's trials run through the engine's pool
-and probed distances are memoised.
+and probed distances are memoised. ``scenario`` swaps the environment
+from the ``repro.sim.spec`` registry; rooms cap the search ceiling at
+their +x interior span.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments._emissions import (
-    ATTACKER_POSITION,
-    single_at_power,
-)
+from repro.experiments._emissions import single_at_power
 from repro.sim.engine import EmissionSpec, ExperimentEngine
 from repro.sim.results import ResultTable
-from repro.sim.scenario import Scenario, VictimDevice
+from repro.sim.scenario import VictimDevice
+from repro.sim.spec import get_scenario
 
 #: The drive powers of the precursor paper's Table 1, watts.
 PAPER_POWERS_W = (9.2, 11.8, 14.8, 18.7, 23.7)
@@ -34,14 +34,20 @@ def run(
     seed: int = 0,
     jobs: int = 1,
     engine: ExperimentEngine | None = None,
+    scenario: str = "free_field",
 ) -> ResultTable:
     """Measure attack range per input power for both devices."""
+    spec = get_scenario(scenario)
     rng = np.random.default_rng(seed)
     powers = PAPER_POWERS_W[::2] if quick else PAPER_POWERS_W
     n_trials = 2 if quick else 5
     resolution = 0.5 if quick else 0.25
+    max_distance = spec.max_distance_m(16.0)
     table = ResultTable(
-        title="T1: attack range vs speaker input power (single speaker)",
+        title=(
+            "T1: attack range vs speaker input power (single speaker)"
+            + spec.title_suffix()
+        ),
         columns=["power W", "phone range m", "echo range m"],
     )
     configs = (
@@ -51,20 +57,15 @@ def run(
     ranges: dict[str, list[float]] = {"phone": [], "echo": []}
     with ExperimentEngine.scoped(engine, jobs) as eng:
         for device, command in configs:
-            scenario = Scenario(
-                command=command,
-                attacker_position=ATTACKER_POSITION,
-                victim_position=ATTACKER_POSITION.translated(
-                    1.0, 0.0, 0.0
-                ),
-            )
+            built = spec.build(command, distance_m=1.0)
             for power in powers:
                 measured = eng.attack_range_m(
-                    scenario,
+                    built,
                     device,
                     EmissionSpec(single_at_power, (command, seed, power)),
                     rng,
                     n_trials=n_trials,
+                    max_distance_m=max_distance,
                     resolution_m=resolution,
                 )
                 ranges[device.name].append(measured)

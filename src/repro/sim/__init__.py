@@ -2,7 +2,13 @@
 
 ``scenario``
     Declarative description of one physical setup (room, attacker,
-    victim device, command).
+    victim device, command) — including environmental features:
+    interference sources, a walking attacker, weather.
+``spec``
+    Pure-data :class:`ScenarioSpec` environments and the named
+    registry behind ``--scenario NAME`` (``free_field``,
+    ``living_room``, ``walking_attacker``, ...), turning the fixed
+    experiment list into an experiments × environments grid.
 ``runner``
     Executes a scenario: generate -> radiate -> propagate -> record ->
     recognise, returning per-trial outcomes.
@@ -23,9 +29,26 @@
     the benchmarks and EXPERIMENTS.md.
 """
 
-from repro.sim.scenario import Scenario, VictimDevice
+from repro.sim.scenario import (
+    AttackerMotion,
+    InterferenceSource,
+    Scenario,
+    VictimDevice,
+    interference_waveform,
+)
+from repro.sim.spec import (
+    InterferenceSpec,
+    RIG_POSITION,
+    RoomSpec,
+    ScenarioSpec,
+    TrajectorySpec,
+    WeatherSpec,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
 from repro.sim.runner import ScenarioRunner, TrialOutcome
-from repro.sim.batch import run_group_batch, supports_batch
+from repro.sim.batch import BatchSupport, run_group_batch, supports_batch
 from repro.sim.engine import (
     EmissionCache,
     EmissionSpec,
@@ -40,12 +63,22 @@ from repro.sim.sweep import (
     accuracy_over_distances,
     attack_range_m,
     success_rate,
+    success_rate_by_scenario,
 )
 from repro.sim.results import ResultTable
 
 __all__ = [
+    "AttackerMotion",
+    "BatchSupport",
+    "InterferenceSource",
+    "InterferenceSpec",
+    "RIG_POSITION",
+    "RoomSpec",
     "Scenario",
+    "ScenarioSpec",
+    "TrajectorySpec",
     "VictimDevice",
+    "WeatherSpec",
     "ScenarioRunner",
     "TrialOutcome",
     "EmissionCache",
@@ -54,12 +87,17 @@ __all__ = [
     "TrialGroup",
     "attack_range_search",
     "cached_voice",
+    "get_scenario",
+    "interference_waveform",
     "process_cache",
+    "register_scenario",
     "run_group_batch",
+    "scenario_names",
     "stable_key",
     "supports_batch",
     "success_rate",
     "accuracy_over_distances",
     "attack_range_m",
+    "success_rate_by_scenario",
     "ResultTable",
 ]

@@ -213,8 +213,10 @@ def _run_trial_batch(
     the vectorized kernel (:func:`repro.sim.batch.run_group_batch`) —
     one transmission, stacked 2-D trial operations — falling back to
     the scalar per-trial loop for groups the kernel cannot prove
-    equivalent. Both paths consume the same spawned generators in the
-    same order, so their outcomes are bitwise identical.
+    equivalent (:func:`repro.sim.batch.supports_batch` reports the
+    structured refusal reason). Both paths consume the same spawned
+    generators in the same order, so their outcomes are bitwise
+    identical.
 
     When the caller only wants success statistics,
     ``keep_recordings=False`` drops each outcome's device-rate

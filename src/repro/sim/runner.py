@@ -5,6 +5,13 @@ and attacker) from *trials* (cheap, stochastic): the attacker's
 radiated waveforms are computed once and reused while ambient noise and
 microphone self-noise are redrawn per trial — matching how the paper
 repeats a fixed attack signal 50 times.
+
+Environmental scenario features all slot into that same split. Rooms
+and deterministic interference beds change only the (trial-invariant)
+transmission; a walking attacker adds one per-trial uniform draw that
+scales the arrived attack wave. The per-trial draw order — motion
+gain, ambient noise, microphone self-noise — is the contract the
+vectorized batch kernel (:mod:`repro.sim.batch`) reproduces bitwise.
 """
 
 from __future__ import annotations
@@ -13,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.acoustics.channel import AcousticChannel, PlacedSource
+from repro.acoustics.channel import PlacedSource
 from repro.dsp.signals import Signal
 from repro.sim.scenario import Scenario, VictimDevice
 from repro.speech.commands import synthesize_command
@@ -70,10 +77,12 @@ class ScenarioRunner:
             )
         self.scenario = scenario
         self.device = device
-        self._channel = AcousticChannel(
-            room=scenario.room,
-            ambient_noise_spl=scenario.ambient_noise_spl,
-        )
+        self._channel = scenario.channel()
+        # The interference bed is deterministic and trial-invariant;
+        # transmit it once per (runner, sample rate) instead of once
+        # per trial. Keyed by rate because callers may pass emissions
+        # at different acoustic rates to one runner.
+        self._interference_cache: dict[float, Signal] = {}
 
     def synthesize_voice(self, rng: np.random.Generator) -> Signal:
         """The target command waveform the attacker starts from."""
@@ -84,12 +93,25 @@ class ScenarioRunner:
         sources: list[PlacedSource],
         rng: np.random.Generator,
     ) -> TrialOutcome:
-        """One trial: propagate given emissions, record, recognise."""
+        """One trial: propagate given emissions, record, recognise.
+
+        Per-trial draw order (the batch kernel's contract): the
+        walking-attacker gain (if the scenario moves), the ambient
+        noise, then the microphone self-noise.
+        """
         if not sources:
             raise ExperimentError("run_trial needs at least one source")
-        arrived = self._channel.receive(
-            sources, self.scenario.victim_position, rng
+        clean = self._channel.transmit(
+            sources, self.scenario.victim_position
         )
+        gain = self.scenario.trial_gain(rng)
+        if gain is not None:
+            clean = clean * gain
+        if self.scenario.interference:
+            clean = clean + self._transmitted_interference(
+                clean.sample_rate
+            )
+        arrived = self._channel.add_ambient(clean, rng)
         recording = self.device.microphone.record(arrived, rng)
         result = self.device.recognizer.recognize(recording)
         return TrialOutcome(
@@ -100,6 +122,17 @@ class ScenarioRunner:
             distance=result.distance,
             recording=recording,
         )
+
+    def _transmitted_interference(self, sample_rate: float) -> Signal:
+        """The interference bed arrived at the victim, cached."""
+        cached = self._interference_cache.get(sample_rate)
+        if cached is None:
+            cached = self._channel.transmit(
+                self.scenario.interference_sources(sample_rate),
+                self.scenario.victim_position,
+            )
+            self._interference_cache[sample_rate] = cached
+        return cached
 
     def run_trials(
         self,

@@ -3,7 +3,10 @@
 import math
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from strategies import interior_positions, positions, rooms
 from repro.acoustics.geometry import Position, Room, distance
 from repro.errors import GeometryError
 
@@ -70,3 +73,39 @@ class TestRoom:
     def test_invalid_absorption_rejected(self):
         with pytest.raises(GeometryError):
             Room(6.0, 4.0, 2.5, wall_absorption=1.5)
+
+
+class TestGeometryProperties:
+    """Hypothesis invariants on the suite-wide geometry strategies."""
+
+    @given(position=positions(), axis=st.sampled_from(["x", "y", "z"]),
+           plane=st.floats(min_value=-20.0, max_value=20.0))
+    @settings(max_examples=50, deadline=None)
+    def test_mirror_is_an_involution(self, position, axis, plane):
+        # Approximate, not exact: 2p - (2p - x) loses x entirely when
+        # |x| vanishes next to |p| (catastrophic cancellation).
+        twice = position.mirrored(axis, plane).mirrored(axis, plane)
+        for value, original in (
+            (twice.x, position.x),
+            (twice.y, position.y),
+            (twice.z, position.z),
+        ):
+            assert value == pytest.approx(original, abs=1e-9)
+
+    @given(a=positions(), b=positions())
+    @settings(max_examples=50, deadline=None)
+    def test_distance_symmetric_and_nonnegative(self, a, b):
+        assert a.distance_to(b) == b.distance_to(a)
+        assert a.distance_to(b) >= 0.0
+
+    @given(data=st.data(), room=rooms())
+    @settings(max_examples=25, deadline=None)
+    def test_interior_positions_are_inside(self, data, room):
+        inside = data.draw(interior_positions(room))
+        assert room.contains(inside)
+        room.require_inside(inside, "sample")  # must not raise
+
+    @given(room=rooms())
+    @settings(max_examples=25, deadline=None)
+    def test_reflection_amplitude_bounded(self, room):
+        assert 0.0 <= room.reflection_amplitude() <= 1.0

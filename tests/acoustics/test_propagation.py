@@ -82,3 +82,18 @@ class TestPropagate:
         assert spl_at_1m - spl_at_3m == pytest.approx(
             propagation_loss_db(1000.0, 3.0), abs=0.5
         )
+
+
+class TestSharedInputBatch:
+    def test_shared_spectrum_path_is_bitwise_identical(self):
+        import numpy as np
+
+        model = PropagationModel()
+        wave = np.random.default_rng(3).normal(size=4096)
+        stack = np.tile(wave, (7, 1))
+        distances = [1.0, 2.5, 3.3, 4.1, 5.0, 6.2, 7.7]
+        plain = model.propagate_batch(stack, 192000.0, distances)
+        shared = model.propagate_batch(
+            stack, 192000.0, distances, shared_input=True
+        )
+        assert np.array_equal(plain, shared)

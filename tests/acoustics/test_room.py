@@ -1,7 +1,11 @@
 """Unit tests for the image-source room model."""
 
+import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from strategies import interior_positions, rooms
 from repro.acoustics.geometry import Position, Room
 from repro.acoustics.propagation import PropagationModel
 from repro.acoustics.room import ImageSourceRoomModel
@@ -75,3 +79,59 @@ class TestTransmit:
             return model.transmit(wave, source, receiver).energy()
 
         assert energy(0.9) < energy(0.1)
+
+
+class TestTransmitBatch:
+    """The stacked reflection-fan kernel must be bitwise scalar.
+
+    Room scenarios route through transmit_batch in *both* engine
+    modes, so the batch-vs-scalar CLI diff cannot catch a drift
+    between the 7-row stacked FFT and per-path propagate + mix — only
+    this pin can (the room counterpart of the free-field
+    propagate_batch pin in tests/test_properties.py).
+    """
+
+    def test_bitwise_equals_transmit(self, room_model):
+        wave = tone(1200.0, 0.05, 48000.0, unit=Unit.PASCAL)
+        source, receiver = Position(1, 2, 1), Position(4, 2, 1)
+        scalar = room_model.transmit(wave, source, receiver)
+        batched = room_model.transmit_batch(wave, source, receiver)
+        assert np.array_equal(scalar.samples, batched.samples)
+        assert scalar.sample_rate == batched.sample_rate
+        assert scalar.unit == batched.unit
+
+    def test_bitwise_with_delay_and_long_signal(self):
+        # > 64 rfft bins exercises the interpolated-absorption branch;
+        # include_delay exercises per-path fractional shifts and the
+        # zero-padded fold across unequal row lengths.
+        model = ImageSourceRoomModel(room=Room.meeting_room())
+        wave = tone(35000.0, 0.03, 192000.0, unit=Unit.PASCAL)
+        source, receiver = Position(0.5, 2.0, 1.0), Position(5.5, 1.5, 1.2)
+        scalar = model.transmit(wave, source, receiver)
+        batched = model.transmit_batch(wave, source, receiver)
+        assert np.array_equal(scalar.samples, batched.samples)
+
+    @given(data=st.data(), room=rooms())
+    @settings(max_examples=10, deadline=None)
+    def test_bitwise_property_over_random_rooms(self, data, room):
+        source = data.draw(interior_positions(room))
+        receiver = data.draw(interior_positions(room))
+        if source.distance_to(receiver) < 1e-6:
+            return
+        model = ImageSourceRoomModel(room=room)
+        wave = tone(900.0, 0.01, 16000.0, unit=Unit.PASCAL)
+        scalar = model.transmit(wave, source, receiver)
+        batched = model.transmit_batch(wave, source, receiver)
+        assert np.array_equal(scalar.samples, batched.samples)
+
+    def test_reflections_disabled_reduces_to_direct(self):
+        model = ImageSourceRoomModel(
+            room=Room.meeting_room(), include_reflections=False
+        )
+        wave = tone(1000.0, 0.02, 48000.0, unit=Unit.PASCAL)
+        source, receiver = Position(1, 2, 1), Position(4, 2, 1)
+        direct = model.propagation.propagate(
+            wave, source.distance_to(receiver)
+        )
+        batched = model.transmit_batch(wave, source, receiver)
+        assert np.array_equal(direct.samples, batched.samples)

@@ -2,7 +2,9 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
 
+from strategies import signal_batches, signals
 from repro.dsp.signals import (
     Signal,
     Unit,
@@ -212,3 +214,36 @@ class TestFactories:
     def test_mix_empty_raises(self):
         with pytest.raises(SignalDomainError):
             mix([])
+
+
+class TestSignalBatchProperties:
+    """Container invariants driven by the suite-wide strategies."""
+
+    @given(batch=signal_batches())
+    @settings(max_examples=25, deadline=None)
+    def test_from_signals_round_trips_rows(self, batch):
+        from repro.dsp.signals import SignalBatch
+
+        rebuilt = SignalBatch.from_signals(batch.signals())
+        assert np.array_equal(rebuilt.samples, batch.samples)
+        assert rebuilt.sample_rate == batch.sample_rate
+        assert rebuilt.unit == batch.unit
+
+    @given(signal=signals())
+    @settings(max_examples=25, deadline=None)
+    def test_scaled_to_peak_hits_target_or_stays_silent(self, signal):
+        scaled = signal.scaled_to_peak(1.0)
+        if signal.peak() == 0.0:
+            assert scaled.peak() == 0.0
+        else:
+            assert scaled.peak() == pytest.approx(1.0)
+
+    @given(signal=signals(min_samples=2))
+    @settings(max_examples=25, deadline=None)
+    def test_mix_with_silence_is_identity(self, signal):
+        from repro.dsp.signals import silence
+
+        quiet = silence(0.0, signal.sample_rate, unit=signal.unit)
+        assert np.array_equal(
+            mix([signal, quiet]).samples, signal.samples
+        )

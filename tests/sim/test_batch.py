@@ -165,7 +165,10 @@ class TestFallback:
         self, scenario, phone_device, emission_spec
     ):
         group = TrialGroup(scenario, phone_device, emission_spec, 2)
-        assert supports_batch(group)
+        support = supports_batch(group)
+        assert support
+        assert support.supported is True
+        assert support.reason is None
 
     def test_subclassed_microphone_unsupported(
         self, scenario, phone_device, emission_spec
@@ -178,7 +181,63 @@ class TestFallback:
             recognizer=phone_device.recognizer,
         )
         group = TrialGroup(scenario, device, emission_spec, 2)
-        assert not supports_batch(group)
+        support = supports_batch(group)
+        assert not support
+        assert "_TracingMicrophone" in support.reason
+        assert "stock Microphone" in support.reason
+
+    def test_subclassed_nonlinearity_reported_with_reason(
+        self, scenario, phone_device, emission_spec
+    ):
+        from dataclasses import replace as dc_replace
+
+        from repro.hardware.nonlinearity import PolynomialNonlinearity
+
+        class _TaggedNonlinearity(PolynomialNonlinearity):
+            pass
+
+        config = dc_replace(
+            phone_device.microphone.config,
+            nonlinearity=_TaggedNonlinearity((1.0, 0.05, 0.005)),
+        )
+        device = VictimDevice(
+            name="custom",
+            microphone=Microphone(config),
+            recognizer=phone_device.recognizer,
+        )
+        group = TrialGroup(scenario, device, emission_spec, 2)
+        support = supports_batch(group)
+        assert not support
+        assert "_TaggedNonlinearity" in support.reason
+
+    def test_subclassed_scenario_reported_with_reason(
+        self, scenario, phone_device, emission_spec
+    ):
+        class _TaggedScenario(Scenario):
+            pass
+
+        tagged = _TaggedScenario(
+            command=scenario.command,
+            attacker_position=scenario.attacker_position,
+            victim_position=scenario.victim_position,
+        )
+        group = TrialGroup(tagged, phone_device, emission_spec, 2)
+        support = supports_batch(group)
+        assert not support
+        assert "_TaggedScenario" in support.reason
+
+    def test_room_scenario_accepted(
+        self, phone_device, emission_spec
+    ):
+        from repro.sim.spec import get_scenario
+
+        room_scenario = get_scenario("living_room").build(
+            "ok_google", 2.0
+        )
+        group = TrialGroup(room_scenario, phone_device, emission_spec, 2)
+        support = supports_batch(group)
+        assert support
+        assert support.reason is None
 
     def test_direct_kernel_call_refuses_unsupported_group(
         self, scenario, phone_device, emission_spec

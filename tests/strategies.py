@@ -1,0 +1,129 @@
+"""Shared hypothesis strategies for the whole test suite.
+
+One home for the generators that used to be duplicated per test file:
+random waveforms and waveform batches (the batched-vs-scalar
+equivalence properties), spatial geometry (positions, rooms,
+positions constrained inside a room) and realistic sample rates.
+Import from here (the ``tests/`` directory is on ``sys.path`` via the
+root ``conftest.py``) rather than redefining per file::
+
+    from strategies import rooms, interior_positions, signals
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.acoustics.geometry import Position, Room
+from repro.dsp.signals import Signal, SignalBatch
+
+#: Bounded finite sample values — wide enough to exercise scaling,
+#: narrow enough that squared sums stay finite.
+finite_floats = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+#: Realistic device/simulation sample rates (exact-ratio resampling
+#: pairs among them).
+sample_rates = st.sampled_from(
+    [8000.0, 16000.0, 44100.0, 48000.0, 96000.0, 192000.0]
+)
+
+# -- batched-vs-scalar equivalence dimensions --------------------------
+#: Random batch shapes, amplitudes and (realistic) rates, per the
+#: equivalence contract of the vectorized trial kernel.
+batch_rows = st.integers(min_value=1, max_value=4)
+batch_samples = st.integers(min_value=128, max_value=512)
+batch_amplitudes = st.floats(min_value=1e-3, max_value=1e3)
+batch_rates = st.sampled_from([8000.0, 16000.0, 48000.0, 192000.0])
+batch_seeds = st.integers(min_value=0, max_value=2**31)
+
+
+def random_batch(
+    seed: int, rows: int, samples: int, amplitude: float
+) -> np.ndarray:
+    """A reproducible ``(rows, samples)`` Gaussian sample matrix."""
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(rows, samples)) * amplitude
+
+
+# -- waveform containers ----------------------------------------------
+@st.composite
+def signals(
+    draw,
+    min_samples: int = 1,
+    max_samples: int = 64,
+    unit: str | None = None,
+):
+    """A :class:`Signal` with bounded finite samples and a real rate."""
+    samples = draw(
+        st.lists(finite_floats, min_size=min_samples, max_size=max_samples)
+    )
+    rate = draw(sample_rates)
+    if unit is None:
+        return Signal(samples, rate)
+    return Signal(samples, rate, unit)
+
+
+@st.composite
+def signal_batches(
+    draw,
+    min_rows: int = 1,
+    max_rows: int = 4,
+    min_samples: int = 8,
+    max_samples: int = 128,
+):
+    """A :class:`SignalBatch` of reproducible Gaussian rows."""
+    seed = draw(batch_seeds)
+    rows = draw(st.integers(min_value=min_rows, max_value=max_rows))
+    samples = draw(
+        st.integers(min_value=min_samples, max_value=max_samples)
+    )
+    amplitude = draw(batch_amplitudes)
+    rate = draw(batch_rates)
+    return SignalBatch(random_batch(seed, rows, samples, amplitude), rate)
+
+
+# -- geometry ----------------------------------------------------------
+#: Coordinates kept within a plausible scene so distances and
+#: propagation losses stay well-conditioned.
+coordinates = st.floats(
+    min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def positions(draw):
+    """An arbitrary finite :class:`Position`."""
+    return Position(draw(coordinates), draw(coordinates), draw(coordinates))
+
+
+@st.composite
+def rooms(draw):
+    """A plausible rectangular :class:`Room` with valid absorption."""
+    return Room(
+        length_m=draw(st.floats(min_value=2.0, max_value=12.0)),
+        width_m=draw(st.floats(min_value=2.0, max_value=8.0)),
+        height_m=draw(st.floats(min_value=2.0, max_value=4.0)),
+        wall_absorption=draw(st.floats(min_value=0.05, max_value=0.95)),
+    )
+
+
+@st.composite
+def interior_positions(draw, room: Room, margin: float = 0.05):
+    """A :class:`Position` strictly inside ``room``.
+
+    ``margin`` keeps draws off the walls so image-source distances
+    never degenerate to zero.
+    """
+    def axis(span: float):
+        return st.floats(
+            min_value=margin * span, max_value=(1.0 - margin) * span
+        )
+
+    return Position(
+        draw(axis(room.length_m)),
+        draw(axis(room.width_m)),
+        draw(axis(room.height_m)),
+    )

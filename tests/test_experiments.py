@@ -191,3 +191,28 @@ class TestCli:
     def test_invalid_jobs_is_a_clean_cli_error(self, capsys):
         assert main(["F1", "--jobs", "0"]) == 2
         assert "jobs must be >= 1" in capsys.readouterr().err
+
+    def test_parser_scenario_flag(self):
+        args = build_parser().parse_args(
+            ["T2", "--scenario", "living_room"]
+        )
+        assert args.scenario == "living_room"
+        assert build_parser().parse_args(["T2"]).scenario == "free_field"
+
+    def test_parser_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["T2", "--scenario", "underwater"])
+
+    def test_scenario_capable_registry(self):
+        from repro.experiments.__main__ import (
+            scenario_capable_experiments,
+        )
+
+        capable = scenario_capable_experiments()
+        assert {"T1", "T2", "F3", "F4", "F6"} <= set(capable)
+
+    def test_scenario_on_incapable_experiment_is_a_clean_error(
+        self, capsys
+    ):
+        assert main(["F1", "--scenario", "living_room"]) == 2
+        assert "does not take --scenario" in capsys.readouterr().err

@@ -1,8 +1,23 @@
-"""Property-based tests (hypothesis) for core invariants."""
+"""Property-based tests (hypothesis) for core invariants.
+
+Strategy definitions shared with the rest of the suite live in
+``tests/strategies.py``; this file holds the cross-cutting invariants
+(round trips, monotonicities, batched-vs-scalar equivalences).
+"""
 
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
+
+from strategies import (
+    batch_amplitudes,
+    batch_rates,
+    batch_rows,
+    batch_samples,
+    batch_seeds,
+    finite_floats,
+    random_batch as _random_batch,
+)
 
 from repro.acoustics.atmosphere import absorption_coefficient_db_per_m
 from repro.acoustics.spl import (
@@ -33,10 +48,6 @@ from repro.dsp.spectrum import welch_psd, welch_psd_matrix
 from repro.dsp.windows import blackman, hamming, hann
 from repro.hardware.nonlinearity import PolynomialNonlinearity
 from repro.psychoacoustics.threshold import hearing_threshold_spl
-
-finite_floats = st.floats(
-    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False
-)
 
 
 class TestDbProperties:
@@ -166,21 +177,6 @@ class TestResampleProperties:
     def test_rational_ratio_exact(self, target, source):
         up, down = rational_ratio(target, source)
         assert source * up / down == np.float64(target)
-
-
-#: Strategy pieces shared by the batched-vs-scalar properties: random
-#: batch shapes, amplitudes and (realistic) sample rates, per the
-#: equivalence contract of the vectorized trial kernel.
-batch_rows = st.integers(min_value=1, max_value=4)
-batch_samples = st.integers(min_value=128, max_value=512)
-batch_amplitudes = st.floats(min_value=1e-3, max_value=1e3)
-batch_rates = st.sampled_from([8000.0, 16000.0, 48000.0, 192000.0])
-batch_seeds = st.integers(min_value=0, max_value=2**31)
-
-
-def _random_batch(seed, rows, samples, amplitude):
-    rng = np.random.default_rng(seed)
-    return rng.normal(size=(rows, samples)) * amplitude
 
 
 class TestBatchedFilteringProperties:
