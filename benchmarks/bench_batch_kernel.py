@@ -11,12 +11,14 @@ Run as a script::
     python benchmarks/bench_batch_kernel.py --quick   # CI smoke
     python benchmarks/bench_batch_kernel.py           # paper numbers
 
-Quick mode uses few trials and asserts batch throughput is at least
-scalar throughput; full mode uses the paper's 50-trial repetition,
-where the kernel's one-transmission-per-group structure pays off
-hardest, and is the source of the speedups recorded in EXPERIMENTS.md.
-Exits non-zero if the batch kernel is slower than the scalar loop or
-if the two modes disagree.
+Since the declarative trial pipeline (``repro.sim.pipeline``) landed,
+the one-transmission-per-group precompute serves *both* modes — the
+scalar walk no longer re-propagates the emission per trial — so the
+two modes are expected to sit near parity rather than the historical
+8x; what remains of the batch win is the stacked per-trial DSP.
+EXPERIMENTS.md records the trajectory. Exits non-zero if the batched
+path becomes pathologically slower than the scalar walk or if the two
+modes disagree.
 """
 
 from __future__ import annotations
@@ -136,7 +138,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="small workloads and a >= 1x assertion (CI smoke)",
+        help="small workloads (CI smoke); same identical-output and "
+        "0.7x-tripwire gates as full mode",
     )
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
@@ -151,22 +154,16 @@ def main(argv: list[str] | None = None) -> int:
         print("FAIL: batch and scalar outcomes disagree", file=sys.stderr)
         return 1
     speedups = table.column("speedup")
-    # Gate on the trial-heavy split-array workload only: its margin is
-    # several-fold, so the assertion survives noisy shared CI runners,
-    # while the thin-margin workloads (single-speaker, features) are
-    # reported but cannot flake the build on a scheduler hiccup.
+    # Gate on the trial-heavy split-array workload only. Both modes
+    # now share the per-group transmission precompute (the pipeline's
+    # trial-invariant step), so near-parity is the expectation; the
+    # gate only trips if the batched path becomes pathologically
+    # slower, with margin for noisy shared CI runners.
     gated = speedups[0]
-    if gated < 1.0:
+    if gated < 0.7:
         print(
-            f"FAIL: batch slower than scalar on the trial-heavy "
+            f"FAIL: batch much slower than scalar on the trial-heavy "
             f"workload ({gated:.2f}x)",
-            file=sys.stderr,
-        )
-        return 1
-    if not args.quick and gated < 3.0:
-        print(
-            f"FAIL: expected >= 3x on the trial-heavy workload, got "
-            f"{gated:.2f}x",
             file=sys.stderr,
         )
         return 1

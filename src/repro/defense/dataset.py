@@ -12,16 +12,29 @@ Each recording then yields one defense feature vector. Conditions
 (command, distance, trial noise) are crossed so the classifier cannot
 shortcut on loudness or command identity; the experiment configs hold
 out commands and distances to test generalisation.
+
+Synthesis runs on the shared declarative trial pipeline
+(:mod:`repro.sim.pipeline`), ending at the ADC instead of the
+recogniser: each (command, distance, class) cell is one trial group
+whose deterministic transmission — direct wave plus any room
+reflections, plus the interference bed — is propagated once and whose
+per-trial stages run as stacked batches. The genuine talker's
+randomised level rides the pipeline's per-trial gain stage
+(:func:`repro.sim.pipeline.level_stage`): propagation is linear, so a
+level drawn per trial is exactly a gain on a transmission rendered
+once at the reference level. ``scenario`` selects the environment
+from the :mod:`repro.sim.spec` registry, which is what lets the
+defense train and evaluate inside reverberant rooms, against walking
+attackers and under TV interference rather than only in the free
+field.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dc_replace
 
 import numpy as np
 
-from repro.acoustics.channel import AcousticChannel
-from repro.acoustics.geometry import Position
 from repro.attack.array import grid_array
 from repro.attack.attacker import LongRangeAttacker, SingleSpeakerAttacker
 from repro.attack.baselines import AudiblePlaybackAttacker
@@ -32,8 +45,18 @@ from repro.hardware.devices import (
     horn_tweeter,
     ultrasonic_piezo_element,
 )
+from repro.sim.cache import EmissionCache
+from repro.sim.pipeline import build_pipeline, level_stage
+from repro.sim.scenario import Scenario
+from repro.sim.spec import RIG_POSITION, ScenarioSpec, get_scenario
 from repro.speech.commands import COMMAND_CORPUS, synthesize_command
-from repro.errors import DefenseError
+from repro.errors import DefenseError, ExperimentError
+
+#: The reference SPL (dB at 1 m) the genuine playback is *rendered*
+#: at; each trial's drawn talker level is applied as a gain relative
+#: to this — conversational speech, matching the
+#: :class:`~repro.attack.baselines.AudiblePlaybackAttacker` default.
+GENUINE_REFERENCE_SPL = 60.0
 
 
 @dataclass(frozen=True)
@@ -46,6 +69,9 @@ class DatasetConfig:
         Corpus command names to include.
     distances_m:
         Source-to-microphone distances to cross with commands.
+        Distances the chosen scenario's room cannot host are dropped
+        (the sweep stays physically meaningful); at least one must
+        fit.
     n_trials:
         Recordings per (command, distance, class) cell; each trial
         redraws ambient and microphone noise and the talker level.
@@ -60,7 +86,14 @@ class DatasetConfig:
         Genuine talker level range (uniformly drawn per trial), dB SPL
         at 1 m.
     ambient_noise_spl:
-        Room noise floor, dB SPL.
+        Room noise floor, dB SPL. Honoured in the free field (the
+        legacy knob); named scenarios supply their own floor — a
+        living room's 42 dB, outdoor wind's 55 dB — so the
+        environment, not the config, sets the noise.
+    scenario:
+        Named environment from the :mod:`repro.sim.spec` registry the
+        recordings are made in (``"free_field"``, ``"living_room"``,
+        ``"tv_interference"``, ...).
     seed:
         Master seed; the dataset is a pure function of its config.
     """
@@ -73,6 +106,7 @@ class DatasetConfig:
     device: str = "phone"
     speech_spl_range: tuple[float, float] = (55.0, 68.0)
     ambient_noise_spl: float = 40.0
+    scenario: str = "free_field"
     feature_subset: tuple[str, ...] | None = None
     seed: int = 0
 
@@ -97,6 +131,14 @@ class DatasetConfig:
             raise DefenseError(
                 f"implausible speech SPL range {self.speech_spl_range}"
             )
+        try:
+            self.resolve_scenario()
+        except ExperimentError as error:
+            raise DefenseError(str(error)) from None
+
+    def resolve_scenario(self) -> ScenarioSpec:
+        """The registry spec the recordings are made in."""
+        return get_scenario(self.scenario)
 
 
 @dataclass
@@ -157,7 +199,7 @@ def _microphone(device: str):
     return amazon_echo_microphone()
 
 
-def _build_attacker(config: DatasetConfig, position: Position):
+def _build_attacker(config: DatasetConfig, position):
     if config.attacker_kind == "single_full":
         return SingleSpeakerAttacker(horn_tweeter(), position)
     array = grid_array(
@@ -166,45 +208,85 @@ def _build_attacker(config: DatasetConfig, position: Position):
     return LongRangeAttacker(array, allocation_strategy="waterfill")
 
 
-def build_dataset(config: DatasetConfig) -> LabeledDataset:
+def _cell_scenario(
+    spec: ScenarioSpec, config: DatasetConfig, command: str, distance: float
+) -> Scenario:
+    """The concrete scenario one dataset cell records in."""
+    scenario = spec.build(command, distance_m=distance)
+    if config.scenario == "free_field":
+        # The legacy knob: a free-field dataset keeps its configurable
+        # floor; named environments bring their own.
+        scenario = dc_replace(
+            scenario, ambient_noise_spl=config.ambient_noise_spl
+        )
+    return scenario
+
+
+def build_dataset(
+    config: DatasetConfig, batch: bool = True
+) -> LabeledDataset:
     """Synthesise the dataset a :class:`DatasetConfig` describes.
 
     Attack emissions are generated once per command and reused across
     distances and trials (the waveform the attacker radiates does not
-    depend on them); trial variation comes from ambient noise,
-    microphone self-noise and talker level.
+    depend on them), and the genuine playback is rendered once per
+    command at :data:`GENUINE_REFERENCE_SPL`; trial variation comes
+    from ambient noise, microphone self-noise and the talker-level
+    gain. Every (command, distance, class) cell executes through the
+    shared trial pipeline — batched by default (``batch=False`` walks
+    the scalar stage list instead; recordings are bitwise identical,
+    which the experiment-level differential suites check).
     """
+    spec = config.resolve_scenario()
+    try:
+        distances = spec.clamp_distances(config.distances_m)
+    except ExperimentError as error:
+        raise DefenseError(str(error)) from None
     rng = np.random.default_rng(config.seed)
     microphone = _microphone(config.device)
-    channel = AcousticChannel(
-        room=None, ambient_noise_spl=config.ambient_noise_spl
-    )
-    origin = Position(0.0, 2.0, 1.0)
-    attacker = _build_attacker(config, origin)
+    attacker = _build_attacker(config, RIG_POSITION)
+    low_spl, high_spl = config.speech_spl_range
+    names = config.feature_subset or FEATURE_NAMES
+    # One invariants cache shared by every cell's pipelines: the
+    # transmitted interference bed depends on geometry and rate, not
+    # on command or class, so a tv_interference dataset propagates it
+    # once per distance instead of once per (command, distance, class).
+    invariants = EmissionCache()
     recordings = []
     labels: list[int] = []
     metadata: list[dict] = []
-    names = config.feature_subset or FEATURE_NAMES
     for command in config.commands:
         voice = synthesize_command(command, rng)
         attack_sources = list(attacker.emit(voice).sources)
-        for distance in config.distances_m:
-            mic_position = origin.translated(distance, 0.0, 0.0)
-            for _ in range(config.n_trials):
-                # Genuine playback at a randomised talker level.
-                spl = rng.uniform(*config.speech_spl_range)
-                playback = AudiblePlaybackAttacker(
-                    origin, speech_spl_at_1m=spl
-                )
-                genuine_sources = list(playback.emit(voice).sources)
-                recordings.append(
-                    microphone.record(
-                        channel.receive(
-                            genuine_sources, mic_position, rng
-                        ),
-                        rng,
-                    )
-                )
+        playback = AudiblePlaybackAttacker(
+            RIG_POSITION, speech_spl_at_1m=GENUINE_REFERENCE_SPL
+        )
+        genuine_sources = list(playback.emit(voice).sources)
+        for distance in distances:
+            scenario = _cell_scenario(spec, config, command, distance)
+            # Genuine cell: the talker-level draw is the pipeline's
+            # per-trial gain stage, so its draw order (level, then
+            # ambient, then self-noise) is fixed by the stage list.
+            levels: list[float] = []
+            genuine_pipeline = build_pipeline(
+                scenario,
+                microphone,
+                recognize=False,
+                gain_stage=level_stage(
+                    low_spl,
+                    high_spl,
+                    GENUINE_REFERENCE_SPL,
+                    capture=levels,
+                ),
+                invariants=invariants,
+            )
+            genuine_recordings = genuine_pipeline.run_trials(
+                genuine_pipeline.context(genuine_sources),
+                rng.spawn(config.n_trials),
+                batch=batch,
+            )
+            for recording, spl in zip(genuine_recordings, levels):
+                recordings.append(recording)
                 labels.append(0)
                 metadata.append(
                     {
@@ -212,27 +294,35 @@ def build_dataset(config: DatasetConfig) -> LabeledDataset:
                         "distance_m": distance,
                         "kind": "genuine",
                         "speech_spl": spl,
+                        "scenario": config.scenario,
                     }
                 )
-                recordings.append(
-                    microphone.record(
-                        channel.receive(
-                            attack_sources, mic_position, rng
-                        ),
-                        rng,
-                    )
-                )
+            # Attack cell: same environment, same stage list minus the
+            # talker gain.
+            attack_pipeline = build_pipeline(
+                scenario,
+                microphone,
+                recognize=False,
+                invariants=invariants,
+            )
+            attack_recordings = attack_pipeline.run_trials(
+                attack_pipeline.context(attack_sources),
+                rng.spawn(config.n_trials),
+                batch=batch,
+            )
+            for recording in attack_recordings:
+                recordings.append(recording)
                 labels.append(1)
                 metadata.append(
                     {
                         "command": command,
                         "distance_m": distance,
                         "kind": config.attacker_kind,
+                        "scenario": config.scenario,
                     }
                 )
-    # Every random draw above happened in the same order as the
-    # per-recording pipeline used to make them, so deferring feature
-    # extraction to one batched pass changes throughput, not data.
+    # Feature extraction is deferred to one batched pass over every
+    # recording; equal-length rows share stacked PSDs and envelopes.
     return LabeledDataset(
         features=feature_matrix(recordings, subset=names),
         labels=np.asarray(labels, dtype=int),

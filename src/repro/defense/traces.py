@@ -11,6 +11,15 @@ difference frequencies of each spectral chunk extend to the chunk
 bandwidth). Its amplitude tracks the instantaneous voice power, so the
 sub-50 Hz band is not merely energetic — it is *correlated in time*
 with the voice-band envelope. Both properties are measured here.
+
+The measurements are environment-agnostic by design: recordings made
+in a reverberant room, under TV interference or against a walking
+attacker (any :class:`~repro.sim.spec.ScenarioSpec` environment the
+dataset layer records in) flow through the same estimators — a vocal
+tract still radiates no coherent sub-50 Hz energy in a living room,
+and reflections intermodulate at the diaphragm exactly like direct
+waves. :func:`separation_d_prime` quantifies how well a trace feature
+separates the classes a given environment produces.
 """
 
 from __future__ import annotations
@@ -90,6 +99,31 @@ def band_envelope_matrix(
         batch.n_signals, n_frames, frame_len
     )
     return np.sqrt(np.mean(np.square(frames), axis=-1))
+
+
+def separation_d_prime(
+    genuine: np.ndarray, attacked: np.ndarray
+) -> float:
+    """Class separation of one trace feature, in pooled-sigma units.
+
+    The d' statistic the defense figures report: mean difference over
+    the pooled standard deviation. Zero when the pooled variance
+    vanishes (degenerate single-point classes). Used per feature and
+    per environment to show which traces carry the detection in which
+    scene.
+    """
+    genuine = np.asarray(genuine, dtype=float)
+    attacked = np.asarray(attacked, dtype=float)
+    if genuine.size == 0 or attacked.size == 0:
+        raise DefenseError(
+            "separation_d_prime needs samples from both classes"
+        )
+    pooled = float(
+        np.sqrt(0.5 * (np.var(genuine) + np.var(attacked)))
+    )
+    if pooled <= 0.0:
+        return 0.0
+    return float((np.mean(attacked) - np.mean(genuine)) / pooled)
 
 
 @dataclass(frozen=True)

@@ -12,38 +12,32 @@ Add ``--full`` for the full-resolution sweeps recorded in
 EXPERIMENTS.md, ``--seed N`` to vary the master seed, and ``--jobs N``
 to bound the worker pool (default: all CPU cores; ``--jobs 1`` runs
 serially). ``--no-batch`` disables the vectorized batch trial kernel
-and walks the scalar per-trial loop instead. ``--scenario NAME`` runs
-scenario-capable experiments in a registered environment
-(``repro.sim.spec``): a reverberant room, a walking attacker, TV
-interference, outdoor wind. Rendered tables go to stdout and are
-byte-identical for every ``--jobs`` value and for both batch modes;
-per-experiment timings go to stderr.
+and walks the scalar stage list instead. ``--scenario NAME`` runs any
+experiment — every one of the 15 accepts it — in a registered
+environment (``repro.sim.spec``): a reverberant room, a walking
+attacker, TV interference, outdoor wind; ``--list-scenarios`` prints
+the registry. Rendered tables go to stdout and are byte-identical for
+every ``--jobs`` value and for both batch modes; per-experiment
+timings go to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
-import inspect
 import sys
 import time
 
 from repro.errors import ExperimentError
 from repro.experiments import ALL_EXPERIMENTS
 from repro.sim.engine import ExperimentEngine
-from repro.sim.spec import scenario_names
+from repro.sim.spec import get_scenario, scenario_names
 
 
-def _supports_scenario(module) -> bool:
-    """Whether an experiment's ``run`` accepts a ``scenario`` kwarg."""
-    return "scenario" in inspect.signature(module.run).parameters
-
-
-def scenario_capable_experiments() -> list[str]:
-    """IDs of experiments that accept ``--scenario``."""
-    return sorted(
-        name
-        for name, module in ALL_EXPERIMENTS.items()
-        if _supports_scenario(module)
+def render_scenarios() -> str:
+    """The registry as ``name - description`` lines."""
+    return "\n".join(
+        f"{name:<18} {get_scenario(name).description}"
+        for name in scenario_names()
     )
 
 
@@ -55,6 +49,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
+        nargs="?",
         help="experiment ID (%s) or 'all'"
         % ", ".join(sorted(ALL_EXPERIMENTS)),
     )
@@ -76,46 +71,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-batch",
         action="store_true",
         help="disable the vectorized batch trial kernel (scalar "
-        "per-trial loop; identical output, slower)",
+        "per-trial walk of the same stage list; identical output, "
+        "slower)",
     )
     parser.add_argument(
         "--scenario",
         default="free_field",
         choices=scenario_names(),
-        help="environment to run in (default: free_field); applies to "
-        "the scenario-capable experiments (%s)"
-        % ", ".join(scenario_capable_experiments()),
+        help="environment to run in (default: free_field); every "
+        "experiment accepts it — see --list-scenarios",
+    )
+    parser.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="print the scenario registry with descriptions and exit",
     )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_scenarios:
+        print(render_scenarios())
+        return 0
+    if args.experiment is None:
+        parser.print_usage(sys.stderr)
+        print(
+            "error: an experiment ID (or 'all') is required unless "
+            "--list-scenarios is given",
+            file=sys.stderr,
+        )
+        return 2
     requested = args.experiment.upper()
     if requested == "ALL":
         names = list(ALL_EXPERIMENTS)
-        if args.scenario != "free_field":
-            capable = scenario_capable_experiments()
-            skipped = [name for name in names if name not in capable]
-            names = [name for name in names if name in capable]
-            print(
-                f"scenario {args.scenario!r}: running the "
-                f"scenario-capable experiments {names}; skipping "
-                f"{skipped}",
-                file=sys.stderr,
-            )
     elif requested in ALL_EXPERIMENTS:
         names = [requested]
-        if args.scenario != "free_field" and not _supports_scenario(
-            ALL_EXPERIMENTS[requested]
-        ):
-            print(
-                f"experiment {requested} does not take --scenario; "
-                f"scenario-capable: {scenario_capable_experiments()}",
-                file=sys.stderr,
-            )
-            return 2
     else:
         print(
             f"unknown experiment {args.experiment!r}; choose from "
@@ -134,15 +127,12 @@ def main(argv: list[str] | None = None) -> int:
     with engine:
         for name in names:
             module = ALL_EXPERIMENTS[name]
-            kwargs = {}
-            if _supports_scenario(module):
-                kwargs["scenario"] = args.scenario
             started = time.time()
             table = module.run(
                 quick=not args.full,
                 seed=args.seed,
                 engine=engine,
-                **kwargs,
+                scenario=args.scenario,
             )
             elapsed = time.time() - started
             print(

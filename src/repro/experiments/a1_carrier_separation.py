@@ -5,7 +5,10 @@ quadratic term regenerates ``2 a2 m_i(t) c`` — an audible, partially
 intelligible copy of its slice of the command. Separating the carrier
 removes this first-order product from every element; what remains is
 the second-order chunk self-product. The ablation measures worst-chunk
-leakage both ways, one array size per engine work unit.
+leakage both ways, one array size per engine work unit. Like the
+other bystander-at-0.5 m measurements, ``scenario`` tags the table
+with the registry environment without altering the near-field
+physics.
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ from repro.dsp.signals import Signal
 from repro.hardware.devices import ultrasonic_piezo_element
 from repro.sim.engine import ExperimentEngine, cached_voice
 from repro.sim.results import ResultTable
+from repro.sim.spec import get_scenario
 
 
 def _carrier_row(
@@ -52,14 +56,16 @@ def run(
     command: str = "ok_google",
     jobs: int = 1,
     engine: ExperimentEngine | None = None,
+    scenario: str = "free_field",
 ) -> ResultTable:
     """Leakage with and without carrier separation, per array size."""
+    spec = get_scenario(scenario)
     voice = cached_voice(command, seed)
     counts = (4, 16) if quick else (4, 8, 16, 32, 61)
     table = ResultTable(
         title=(
             "A1: worst per-chunk leakage margin at full drive — "
-            "separate vs mixed carrier"
+            "separate vs mixed carrier" + spec.title_suffix()
         ),
         columns=[
             "chunks",

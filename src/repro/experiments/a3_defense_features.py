@@ -3,8 +3,11 @@
 Compares detectors restricted to the trace-power features, to the
 correlation features, and to the full vector. The paper family's
 finding: power and correlation are individually strong and complement
-each other against borderline cases. Each subset's dataset/fit chain
-is one engine work unit.
+each other against borderline cases. ``scenario`` rebuilds the
+ablation inside a registered environment, so feature importance can be
+read per scene (interference, for instance, loads the correlation
+features harder). Each subset's dataset/fit chain is one engine work
+unit.
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ from repro.defense.detector import InaudibleVoiceDetector
 from repro.defense.metrics import auc
 from repro.sim.engine import ExperimentEngine
 from repro.sim.results import ResultTable
+from repro.sim.spec import get_scenario
 
 SUBSETS: dict[str, tuple[str, ...]] = {
     "power only": ("trace_power_db", "trace_to_voice_db"),
@@ -34,11 +38,11 @@ SUBSETS: dict[str, tuple[str, ...]] = {
 
 
 def _subset_row(
-    task: tuple[str, tuple[str, ...], DatasetConfig, int],
+    task: tuple[str, tuple[str, ...], DatasetConfig, int, bool],
 ) -> tuple[str, float, float]:
     """Worker: dataset -> fit -> AUC/accuracy for one feature subset."""
-    label, subset, config, split_seed = task
-    dataset = build_dataset(config)
+    label, subset, config, split_seed, batch = task
+    dataset = build_dataset(config, batch=batch)
     rng = np.random.default_rng(split_seed)
     train, test = dataset.split(0.6, rng)
     detector = InaudibleVoiceDetector(feature_subset=subset).fit(train)
@@ -52,30 +56,34 @@ def run(
     seed: int = 0,
     jobs: int = 1,
     engine: ExperimentEngine | None = None,
+    scenario: str = "free_field",
 ) -> ResultTable:
     """Test AUC and accuracy per feature subset."""
+    spec = get_scenario(scenario)
     n_trials = 3 if quick else 8
     table = ResultTable(
-        title="A3: defense feature ablation",
+        title="A3: defense feature ablation" + spec.title_suffix(),
         columns=["features", "AUC", "accuracy"],
     )
-    tasks = [
-        (
-            label,
-            subset,
-            DatasetConfig(
-                commands=("ok_google", "alexa"),
-                distances_m=(1.0, 2.0),
-                n_trials=n_trials,
-                attacker_kind="single_full",
-                feature_subset=subset,
-                seed=seed,
-            ),
-            seed + 3,
-        )
-        for label, subset in SUBSETS.items()
-    ]
     with ExperimentEngine.scoped(engine, jobs) as eng:
+        tasks = [
+            (
+                label,
+                subset,
+                DatasetConfig(
+                    commands=("ok_google", "alexa"),
+                    distances_m=(1.0, 2.0),
+                    n_trials=n_trials,
+                    attacker_kind="single_full",
+                    feature_subset=subset,
+                    scenario=scenario,
+                    seed=seed,
+                ),
+                seed + 3,
+                eng.batch,
+            )
+            for label, subset in SUBSETS.items()
+        ]
         for row in eng.map(_subset_row, tasks):
             table.add_row(*row)
     return table

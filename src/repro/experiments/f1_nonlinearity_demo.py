@@ -4,21 +4,23 @@ Reproduces the paper family's three-panel figure (normal voice, attack
 ultrasound, microphone recording) as band-power summaries: the attack
 waveform carries essentially *no* audible-band energy, yet the
 recording carries the voice band back — demodulated by the microphone
-alone.
+alone. ``scenario`` records the third panel in a registered
+environment (reflections and the scene's noise floor included); the
+demodulated voice band survives them all.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.acoustics.channel import AcousticChannel
-from repro.acoustics.geometry import Position
 from repro.dsp.signals import Signal
 from repro.dsp.spectrum import welch_psd
 from repro.experiments._emissions import single_full
 from repro.hardware.devices import android_phone_microphone
 from repro.sim.engine import EmissionSpec, ExperimentEngine, cached_voice
+from repro.sim.pipeline import build_pipeline
 from repro.sim.results import ResultTable
+from repro.sim.spec import get_scenario
 
 
 def _band_fractions_db(signal: Signal) -> tuple[float, float, float]:
@@ -56,6 +58,7 @@ def run(
     distance_m: float = 2.0,
     jobs: int = 1,
     engine: ExperimentEngine | None = None,
+    scenario: str = "free_field",
 ) -> ResultTable:
     """Generate the three signals and summarise their spectra.
 
@@ -63,19 +66,27 @@ def run(
     either way.
     """
     del quick
+    spec = get_scenario(scenario)
     rng = np.random.default_rng(seed)
     voice = cached_voice(command, seed)
     emission = EmissionSpec(single_full, (command, seed)).emission()
-    channel = AcousticChannel(room=None, ambient_noise_spl=40.0)
-    arrived = channel.receive(
-        list(emission.sources), Position(distance_m, 2.0, 1.0), rng
+    # max_distance_m already returns min(ceiling, room span).
+    built = spec.build(command, spec.max_distance_m(distance_m))
+    # One trial of the recording pipeline, so the scene's reflections
+    # AND its interference bed reach the microphone (channel.receive
+    # alone would silently drop a TV across the room).
+    pipeline = build_pipeline(
+        built, android_phone_microphone(), recognize=False
     )
-    recording = android_phone_microphone().record(arrived, rng)
+    (recording,) = pipeline.run_trials(
+        pipeline.context(list(emission.sources)), [rng], batch=False
+    )
 
     table = ResultTable(
         title=(
             "F1: band power (dB rel total) of the normal voice, the "
             "attack ultrasound and the microphone recording"
+            + spec.title_suffix()
         ),
         columns=[
             "signal",

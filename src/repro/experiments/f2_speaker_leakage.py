@@ -9,6 +9,13 @@ hearing threshold far below the power needed for long range.
 The power points are independent, so the engine fans them out; each
 worker rebuilds the (deterministic) speaker preset locally and only
 the shared drive waveform is shipped.
+
+``scenario`` tags the table with the registry environment. Leakage is
+a *near-field* bystander measurement — at 0.5 m the direct wave
+dominates any room reflection by an order of magnitude and the
+threshold model is the unmasked hearing threshold — so the
+environment labels the run without altering the physics; the flag
+exists so every experiment shares the CLI's scenario axis.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from repro.dsp.signals import Signal
 from repro.hardware.devices import horn_tweeter
 from repro.sim.engine import ExperimentEngine, cached_voice
 from repro.sim.results import ResultTable
+from repro.sim.spec import get_scenario
 
 
 def _leakage_row(
@@ -46,8 +54,10 @@ def run(
     bystander_distance_m: float = 0.5,
     jobs: int = 1,
     engine: ExperimentEngine | None = None,
+    scenario: str = "free_field",
 ) -> ResultTable:
     """Sweep drive power; report leakage level and audibility margin."""
+    spec = get_scenario(scenario)
     voice = cached_voice(command, seed)
     drive = AttackPipeline().generate(voice)
     if quick:
@@ -58,6 +68,7 @@ def run(
         title=(
             "F2: single-speaker audible leakage vs drive power "
             f"(bystander at {bystander_distance_m} m)"
+            + spec.title_suffix()
         ),
         columns=[
             "power W",

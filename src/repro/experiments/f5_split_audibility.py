@@ -8,6 +8,10 @@ with N while the allocator's granted drive levels rise toward 1.
 
 Each array size is an independent work unit fanned out by the engine;
 workers ship back four numbers, not waveforms.
+
+Like F2, this is a near-field bystander measurement (0.5 m direct
+path, unmasked hearing threshold), so ``scenario`` tags the table
+with the registry environment without altering the chunk physics.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ from repro.dsp.signals import Signal
 from repro.hardware.devices import ultrasonic_piezo_element
 from repro.sim.engine import ExperimentEngine, cached_voice
 from repro.sim.results import ResultTable
+from repro.sim.spec import get_scenario
 
 
 def _split_row(
@@ -45,14 +50,16 @@ def run(
     command: str = "ok_google",
     jobs: int = 1,
     engine: ExperimentEngine | None = None,
+    scenario: str = "free_field",
 ) -> ResultTable:
     """Worst-chunk leakage margin at full drive, per array size."""
+    spec = get_scenario(scenario)
     voice = cached_voice(command, seed)
     counts = (2, 8, 32) if quick else (1, 2, 4, 8, 16, 32, 61)
     table = ResultTable(
         title=(
             "F5: worst per-chunk audible leakage at FULL drive vs "
-            "array size (bystander at 0.5 m)"
+            "array size (bystander at 0.5 m)" + spec.title_suffix()
         ),
         columns=[
             "chunks",

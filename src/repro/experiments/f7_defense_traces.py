@@ -4,7 +4,9 @@ The figure behind the defense: per-class distributions of the sub-50 Hz
 trace power and the envelope correlation. Genuine recordings cluster
 deep below the attacked ones because a vocal tract radiates no coherent
 sub-50 Hz energy while nonlinear demodulation cannot avoid producing
-it.
+it — in the free field and in every registered environment
+(``scenario`` picks a room, interference or motion from the registry;
+the dataset records there through the batched trial pipeline).
 
 Dataset synthesis dominates the cost and is fully determined by its
 :class:`DatasetConfig` (seed included), so the two attacker kinds are
@@ -17,33 +19,32 @@ import numpy as np
 
 from repro.defense.dataset import DatasetConfig, build_dataset
 from repro.defense.features import FEATURE_NAMES
+from repro.defense.traces import separation_d_prime
 from repro.sim.engine import ExperimentEngine
 from repro.sim.results import ResultTable
+from repro.sim.spec import get_scenario
 
 
 def _feature_rows(
-    config: DatasetConfig,
+    task: tuple[DatasetConfig, bool],
 ) -> list[tuple[str, str, float, float, float]]:
     """Worker: build one attacker kind's dataset and summarise it."""
-    dataset = build_dataset(config)
+    config, batch = task
+    dataset = build_dataset(config, batch=batch)
     genuine = dataset.features[dataset.labels == 0]
     attacked = dataset.features[dataset.labels == 1]
     rows = []
     for index, name in enumerate(FEATURE_NAMES):
-        g_mean = float(np.mean(genuine[:, index]))
-        a_mean = float(np.mean(attacked[:, index]))
-        pooled = float(
-            np.sqrt(
-                0.5
-                * (
-                    np.var(genuine[:, index])
-                    + np.var(attacked[:, index])
-                )
-            )
-        )
-        d_prime = (a_mean - g_mean) / pooled if pooled > 0 else 0.0
         rows.append(
-            (config.attacker_kind, name, g_mean, a_mean, d_prime)
+            (
+                config.attacker_kind,
+                name,
+                float(np.mean(genuine[:, index])),
+                float(np.mean(attacked[:, index])),
+                separation_d_prime(
+                    genuine[:, index], attacked[:, index]
+                ),
+            )
         )
     return rows
 
@@ -53,12 +54,17 @@ def run(
     seed: int = 0,
     jobs: int = 1,
     engine: ExperimentEngine | None = None,
+    scenario: str = "free_field",
 ) -> ResultTable:
     """Per-class mean/std of every defense feature, both attackers."""
+    spec = get_scenario(scenario)
     n_trials = 2 if quick else 8
     distances = (1.0, 2.0) if quick else (1.0, 2.0, 3.0)
     table = ResultTable(
-        title="F7: defense feature statistics per class",
+        title=(
+            "F7: defense feature statistics per class"
+            + spec.title_suffix()
+        ),
         columns=["attacker", "feature", "genuine mean", "attack mean",
                  "separation (d')"],
     )
@@ -69,12 +75,14 @@ def run(
             n_trials=n_trials,
             attacker_kind=kind,
             n_array_speakers=8,
+            scenario=scenario,
             seed=seed,
         )
         for kind in ("single_full", "long_range")
     ]
     with ExperimentEngine.scoped(engine, jobs) as eng:
-        for rows in eng.map(_feature_rows, configs):
+        tasks = [(config, eng.batch) for config in configs]
+        for rows in eng.map(_feature_rows, tasks):
             for row in rows:
                 table.add_row(*row)
     return table

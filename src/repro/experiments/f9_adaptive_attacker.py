@@ -11,6 +11,11 @@ recordings, and attack success rate.
 The shape criterion: detection degrades gracefully as depth falls while
 attack success collapses first — the defense wins the trade.
 
+``scenario`` places the whole trade-off in a registered environment:
+the detector trains on recordings made there, and the depth-swept
+trials replay there too (rooms cap the attack distance at their
+interior span).
+
 All depth sweeps run as one wave of trial groups; the detector is
 trained once in the parent process and classifies the recordings the
 workers return.
@@ -22,13 +27,11 @@ import numpy as np
 
 from repro.defense.dataset import DatasetConfig, build_dataset
 from repro.defense.detector import InaudibleVoiceDetector
-from repro.experiments._emissions import (
-    ATTACKER_POSITION,
-    single_at_depth,
-)
+from repro.experiments._emissions import single_at_depth
 from repro.sim.engine import EmissionSpec, ExperimentEngine, TrialGroup
 from repro.sim.results import ResultTable
-from repro.sim.scenario import Scenario, VictimDevice
+from repro.sim.scenario import VictimDevice
+from repro.sim.spec import get_scenario
 
 
 def run(
@@ -38,8 +41,10 @@ def run(
     distance_m: float = 2.0,
     jobs: int = 1,
     engine: ExperimentEngine | None = None,
+    scenario: str = "free_field",
 ) -> ResultTable:
     """Sweep modulation depth; report detection and attack success."""
+    spec = get_scenario(scenario)
     rng = np.random.default_rng(seed)
     depths = (
         (1.0, 0.5, 0.25)
@@ -54,21 +59,16 @@ def run(
         distances_m=(1.0, 2.0),
         n_trials=3 if quick else 8,
         attacker_kind="single_full",
+        scenario=scenario,
         seed=seed,
     )
-    detector = InaudibleVoiceDetector().fit(build_dataset(train_config))
-
     device = VictimDevice.phone(seed=seed + 1)
-    scenario = Scenario(
-        command=command,
-        attacker_position=ATTACKER_POSITION,
-        victim_position=ATTACKER_POSITION.translated(
-            distance_m, 0.0, 0.0
-        ),
-    )
+    # max_distance_m already returns min(ceiling, room span).
+    distance_m = spec.max_distance_m(distance_m)
+    trial_scenario = spec.build(command, distance_m=distance_m)
     groups = [
         TrialGroup(
-            scenario,
+            trial_scenario,
             device,
             EmissionSpec(single_at_depth, (command, seed, depth)),
             n_trials,
@@ -76,11 +76,14 @@ def run(
         for depth in depths
     ]
     with ExperimentEngine.scoped(engine, jobs) as eng:
+        detector = InaudibleVoiceDetector().fit(
+            build_dataset(train_config, batch=eng.batch)
+        )
         per_depth = eng.run_trial_groups(groups, rng)
     table = ResultTable(
         title=(
             "F9: adaptive attacker (modulation depth sweep) at "
-            f"{distance_m} m"
+            f"{distance_m} m" + spec.title_suffix()
         ),
         columns=[
             "mod depth",

@@ -137,6 +137,12 @@ class Microphone:
     ) -> Signal:
         """Record an acoustic pressure waveform.
 
+        Composed of the chain's two halves — :meth:`record_analog`
+        (front-end through self-noise) and :meth:`digitize` (ADC) —
+        which the trial pipeline also runs as separate stages; the
+        split is pure code motion, so both entry points are bitwise
+        identical.
+
         Parameters
         ----------
         pressure:
@@ -151,6 +157,18 @@ class Microphone:
         -------
         Signal
             Digital recording at ``config.device_rate`` in [-1, 1].
+        """
+        return self.digitize(self.record_analog(pressure, rng))
+
+    def record_analog(
+        self, pressure: Signal, rng: np.random.Generator | None = None
+    ) -> Signal:
+        """The analog half of :meth:`record`: everything before the ADC.
+
+        Front-end attenuation, full-scale normalisation, the
+        polynomial nonlinearity, the anti-alias and DC-block filters
+        and the self-noise draw — returning the noisy analog waveform
+        still at the acoustic rate.
         """
         if pressure.unit != Unit.PASCAL:
             raise SignalDomainError(
@@ -171,11 +189,14 @@ class Microphone:
         )
         filtered = low_pass(analog, cutoff, order=8)
         filtered = high_pass(filtered, self.config.dc_block_hz, order=1)
-        noisy = self._add_self_noise(filtered, rng)
+        return self._add_self_noise(filtered, rng)
+
+    def digitize(self, analog: Signal) -> Signal:
+        """The digital half of :meth:`record`: resample, clip, quantise."""
         adc = AnalogToDigitalConverter(
             sample_rate=self.config.device_rate, full_scale=1.0
         )
-        return adc.convert(noisy)
+        return adc.convert(analog)
 
     def record_batch(
         self, pressure: SignalBatch, rngs: list[np.random.Generator]
@@ -189,8 +210,19 @@ class Microphone:
         ``(n_trials, n_samples)`` stack, while self-noise is drawn from
         ``rngs[i]`` for row ``i`` — the *same* draw the scalar path
         makes — so row ``i`` of the result is bitwise identical to
-        ``record(pressure.row(i), rngs[i])``.
+        ``record(pressure.row(i), rngs[i])``. Split into
+        :meth:`record_analog_batch` and :meth:`digitize_batch`,
+        mirroring the scalar chain's halves, so the trial pipeline can
+        run them as separate stages.
         """
+        return self.digitize_batch(
+            self.record_analog_batch(pressure, rngs)
+        )
+
+    def record_analog_batch(
+        self, pressure: SignalBatch, rngs: list[np.random.Generator]
+    ) -> SignalBatch:
+        """The analog half of :meth:`record_batch`, over a whole stack."""
         if pressure.unit != Unit.PASCAL:
             raise SignalDomainError(
                 "record_batch expects pressure waveforms in pascals, "
@@ -237,10 +269,14 @@ class Microphone:
                 0.0, noise_rms_digital, filtered.shape[-1]
             )
             noisy[index] = np.add(filtered[index], noise)
+        return SignalBatch(noisy, rate, Unit.VOLT)
+
+    def digitize_batch(self, analog: SignalBatch) -> SignalBatch:
+        """The digital half of :meth:`record_batch`: ADC per row."""
         adc = AnalogToDigitalConverter(
             sample_rate=self.config.device_rate, full_scale=1.0
         )
-        digital = adc.convert_batch(noisy, rate)
+        digital = adc.convert_batch(analog.samples, analog.sample_rate)
         return SignalBatch(digital, self.config.device_rate, Unit.DIGITAL)
 
     def _front_end(self, pressure: Signal) -> Signal:

@@ -9,18 +9,25 @@
     registry behind ``--scenario NAME`` (``free_field``,
     ``living_room``, ``walking_attacker``, ...), turning the fixed
     experiment list into an experiments × environments grid.
+``pipeline``
+    The declarative trial chain: a :class:`TrialPipeline` of named
+    :class:`Stage` objects (transmit -> motion-gain -> interference ->
+    ambient -> microphone -> adc -> recognize), each with a scalar and
+    an optional batch kernel, walked by one executor in either mode —
+    batch-vs-scalar bitwise identity holds by construction.
 ``runner``
-    Executes a scenario: generate -> radiate -> propagate -> record ->
-    recognise, returning per-trial outcomes.
+    Executes a scenario trial by trial: the scalar driver over the
+    shared pipeline, returning per-trial outcomes.
 ``engine``
     Parallel cached execution: fans trial groups over a process pool
     with ``SeedSequence``-spawned per-trial streams (bit-identical for
     any ``jobs``) and a per-process emission/synthesis cache.
 ``batch``
-    Vectorized batch trial kernel: one deterministic transmission per
-    trial group, per-trial stages as stacked 2-D operations — bitwise
-    identical to the scalar runner, ~an order of magnitude faster on
-    trial-heavy groups. The engine uses it by default.
+    The batched driver over the shared pipeline: one deterministic
+    transmission per trial group, per-trial stages as stacked 2-D
+    operations — bitwise identical to the scalar runner, ~an order of
+    magnitude faster on trial-heavy groups. The engine uses it by
+    default.
 ``sweep``
     Parameter sweeps (distance, power, speaker count) built on the
     engine, with emission caching so sweeps stay tractable.
@@ -46,6 +53,12 @@ from repro.sim.spec import (
     get_scenario,
     register_scenario,
     scenario_names,
+)
+from repro.sim.pipeline import (
+    Stage,
+    TrialContext,
+    TrialPipeline,
+    build_pipeline,
 )
 from repro.sim.runner import ScenarioRunner, TrialOutcome
 from repro.sim.batch import BatchSupport, run_group_batch, supports_batch
@@ -80,7 +93,11 @@ __all__ = [
     "VictimDevice",
     "WeatherSpec",
     "ScenarioRunner",
+    "Stage",
+    "TrialContext",
     "TrialOutcome",
+    "TrialPipeline",
+    "build_pipeline",
     "EmissionCache",
     "EmissionSpec",
     "ExperimentEngine",

@@ -1,170 +1,77 @@
-"""Vectorized batch trial kernel.
+"""Vectorized batch trial execution: the batched driver.
 
-The scalar pipeline (:class:`repro.sim.runner.ScenarioRunner`) walks
-every trial through propagate -> nonlinearity -> filter -> ADC ->
-recognise one waveform at a time, recomputing the *deterministic*
-acoustic transmission — by far the most expensive stage for a
-multi-speaker rig — once per trial. This module restructures the hot
-path around two observations:
+The heavy lifting lives in :mod:`repro.sim.pipeline`: the declarative
+:class:`~repro.sim.pipeline.TrialPipeline` carries both a scalar and a
+batch kernel per stage, and one executor walks the same stage list in
+either mode — so batch-vs-scalar bitwise identity holds by
+construction rather than by a comment-enforced draw-order contract.
+This module keeps the kernel-facing entry points:
 
-1. **Transmission is trial-invariant.** For a fixed emission and
-   geometry every trial hears the same arrived waveform — in a free
-   field *and* in a room (the direct wave plus all six first-order
-   reflections are deterministic), and a deterministic interference
-   bed (a TV across the room) is just a second emission. The kernel
-   computes each transmission once per trial group and broadcasts it.
-2. **The per-trial stages are axis-parallel.** A walking attacker's
-   geometry perturbation is a per-trial scalar gain on the shared
-   transmission; noise addition, the polynomial nonlinearity,
-   zero-phase filtering, resampling and quantisation all operate
-   along time — so a whole trial batch runs as stacked
-   ``(n_trials, n_samples)`` operations
-   (:class:`~repro.dsp.signals.SignalBatch`).
+* :func:`supports_batch` — whether a trial group may take the batched
+  path, as the fold of its pipeline's per-stage
+  :class:`~repro.sim.pipeline.BatchSupport` verdicts (a falsy result
+  carries the structured refusal reason);
+* :func:`run_group_batch` — execute one group's trials through the
+  pipeline's batched executor (one trial-invariant transmission per
+  group, stacked ``(n_trials, n_samples)`` stages, bounded chunks),
+  refusing loudly when equivalence cannot be proven.
 
-Equivalence discipline: per-trial random draws come from the *same*
-SeedSequence-spawned generators, in the same order (motion gain, then
-ambient noise, then microphone self-noise), as the scalar path, and
-every batched stage is bitwise identical per row to its scalar
-counterpart — so :func:`run_group_batch` reproduces
-:meth:`ScenarioRunner.run_trial` outcomes exactly, not merely to
-tolerance. The golden-trace suite (``tests/golden/``) and the
-scenario-differential tests pin this down for every registered
-environment.
-
-Groups the kernel cannot prove equivalent — subclassed microphone,
-nonlinearity or scenario models whose overridden behaviour the batch
-chain would silently bypass — are reported by :func:`supports_batch`
-with a structured refusal reason, and the engine falls back to the
-scalar path automatically.
+Per-trial random draws come from the *same* SeedSequence-spawned
+generators, in the same order (motion gain, then ambient noise, then
+microphone self-noise), as the scalar path — per-stage, per-generator,
+because both modes run the same stages. The golden-trace suite
+(``tests/golden/``) and the scenario-differential tests pin this down
+for every registered environment.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import replace
 from typing import Sequence
 
 import numpy as np
 
-from repro.dsp.signals import Signal, SignalBatch, Unit
 from repro.errors import ExperimentError
-from repro.hardware.microphone import Microphone
-from repro.hardware.nonlinearity import PolynomialNonlinearity
-from repro.sim.runner import ScenarioRunner, TrialOutcome
-from repro.sim.scenario import Scenario
+from repro.sim.pipeline import (
+    CHUNK_TRIALS,
+    BatchSupport,
+    TrialOutcome,
+    build_pipeline,
+)
 
-#: Trials stacked per kernel pass. Eight acoustic-rate rows keep every
-#: intermediate in the low tens of MB — large enough to amortise the
-#: per-call overhead of the axis-aware DSP, small enough that the
-#: filter chain's temporaries don't evict each other from cache.
-_CHUNK_TRIALS = 8
+__all__ = [
+    "BatchSupport",
+    "run_group_batch",
+    "supports_batch",
+]
 
-
-@dataclass(frozen=True)
-class BatchSupport:
-    """Whether a group may take the batched path, and if not, why.
-
-    Truthiness matches ``supported`` so existing
-    ``if supports_batch(group):`` call sites keep working; the
-    ``reason`` carries the structured explanation a silent ``False``
-    used to swallow.
-    """
-
-    supported: bool
-    reason: str | None = None
-
-    def __bool__(self) -> bool:
-        return self.supported
-
-    @classmethod
-    def ok(cls) -> "BatchSupport":
-        return cls(supported=True)
-
-    @classmethod
-    def refused(cls, reason: str) -> "BatchSupport":
-        return cls(supported=False, reason=reason)
+#: Back-compat alias; the chunk bound now lives with the executor.
+_CHUNK_TRIALS = CHUNK_TRIALS
 
 
 def supports_batch(group) -> BatchSupport:
-    """Whether the batched kernel is provably equivalent for a group.
+    """Whether the batched executor is provably equivalent for a group.
 
-    The kernel re-implements the microphone chain with axis-aware
-    operations, so it must refuse any group whose hardware models have
-    been subclassed: an overridden ``record`` or transfer polynomial
-    would be silently bypassed. Exact-type checks keep the decision
-    cheap and conservative — anything unusual takes the scalar path.
-
-    Room-model groups *are* accepted: both pipelines share the same
-    :meth:`~repro.acoustics.channel.AcousticChannel.transmit` (which
-    stacks each source's reflection fan through the per-path FFT
-    kernel), and the reverberant transmission is exactly as
-    trial-invariant as a free-field one. Likewise scenarios with
-    deterministic interference or a walking attacker: both render as
-    batched axis operations with the same per-trial draws as the
-    scalar loop.
+    The fold of the group's pipeline stages: every stage must declare
+    a batch kernel and pass its construction-time check. Subclassed
+    microphones, nonlinearities and scenarios refuse — their
+    overridden behaviour is exactly what the stacked kernels would
+    silently bypass — while room, interference, walking-attacker and
+    weather scenarios are all accepted (their stages batch natively).
 
     Returns a :class:`BatchSupport`; a falsy result carries the
     refusal reason instead of silently returning ``False``.
+
+    The verdict is about *batchability only*, not runnability: it
+    folds over the recording stages (the recognize stage always
+    batches), so a device that has not enrolled the scenario's command
+    still gets a verdict here and is rejected later, by pipeline
+    construction, exactly as the scalar path rejects it.
     """
-    microphone = group.device.microphone
-    if type(microphone) is not Microphone:
-        return BatchSupport.refused(
-            f"microphone is a {type(microphone).__qualname__}, not the "
-            "stock Microphone; its overridden record() would be "
-            "bypassed by the batched chain"
-        )
-    if type(microphone.config.nonlinearity) is not PolynomialNonlinearity:
-        return BatchSupport.refused(
-            "nonlinearity is a "
-            f"{type(microphone.config.nonlinearity).__qualname__}, not "
-            "the stock PolynomialNonlinearity; its overridden transfer "
-            "would be bypassed by the batched chain"
-        )
-    if type(group.scenario) is not Scenario:
-        return BatchSupport.refused(
-            f"scenario is a {type(group.scenario).__qualname__}, not "
-            "the stock Scenario; its overridden semantics would be "
-            "bypassed by the batched chain"
-        )
-    return BatchSupport.ok()
-
-
-def _clean_rows(
-    clean_attack: Signal,
-    clean_interference: Signal | None,
-    gains: Sequence[float | None],
-) -> SignalBatch:
-    """Stack per-trial clean waveforms from the shared transmissions.
-
-    Replicates the scalar path's :class:`~repro.dsp.signals.Signal`
-    arithmetic exactly: a ``None`` gain leaves the attack waveform
-    untouched (static scenarios never multiply), a float gain scales
-    it, and interference is added via the same zero-pad-to-max fold
-    ``Signal.__add__`` performs — so row ``i`` is bitwise identical to
-    the scalar trial's clean waveform.
-    """
-    n_attack = clean_attack.n_samples
-    n_total = n_attack
-    interference_padded = None
-    if clean_interference is not None:
-        n_total = max(n_attack, clean_interference.n_samples)
-        interference_padded = np.zeros(n_total)
-        interference_padded[
-            : clean_interference.n_samples
-        ] = clean_interference.samples
-    rows = np.empty((len(gains), n_total))
-    for index, gain in enumerate(gains):
-        attack = (
-            clean_attack.samples
-            if gain is None
-            else clean_attack.samples * gain
-        )
-        if interference_padded is None:
-            rows[index] = attack
-        else:
-            padded = np.zeros(n_total)
-            padded[:n_attack] = attack
-            rows[index] = np.add(padded, interference_padded)
-    return SignalBatch(rows, clean_attack.sample_rate, Unit.PASCAL)
+    pipeline = build_pipeline(
+        group.scenario, group.device.microphone, recognize=False
+    )
+    return pipeline.batch_support()
 
 
 def run_group_batch(
@@ -172,7 +79,7 @@ def run_group_batch(
     rngs: Sequence[np.random.Generator],
     keep_recordings: bool = True,
 ) -> list[TrialOutcome]:
-    """Execute one trial group's trials as a stacked batch.
+    """Execute one trial group's trials as stacked batches.
 
     Parameters
     ----------
@@ -181,10 +88,9 @@ def run_group_batch(
         emission, n_trials).
     rngs:
         One spawned generator per trial, in trial order — the same
-        generators the scalar path would consume. Each is drawn from
-        in the scalar order (motion gain if the scenario moves, then
-        ambient noise, then microphone self-noise), so outcomes are
-        bitwise identical to the scalar pipeline.
+        generators the scalar path would consume. Outcomes are
+        bitwise identical to the scalar pipeline because both modes
+        execute the same stage list.
     keep_recordings:
         When ``False`` each outcome's ``recording`` is ``None``
         (matching the engine's IPC-saving convention).
@@ -194,76 +100,19 @@ def run_group_batch(
     list[TrialOutcome]
         One outcome per generator, in order.
     """
+    rngs = list(rngs)
     if not rngs:
         raise ExperimentError("run_group_batch needs >= 1 trial generator")
-    support = supports_batch(group)
+    pipeline = build_pipeline(group.scenario, group.device)
+    support = pipeline.batch_support()
     if not support:
         raise ExperimentError(
             "run_group_batch cannot prove equivalence for this group: "
             f"{support.reason}; run it through ExperimentEngine, which "
             "falls back to the scalar path automatically"
         )
-    sources = group.resolve_sources()
-    if not sources:
-        raise ExperimentError("run_trial needs at least one source")
-    scenario, device = group.scenario, group.device
-    # The runner's constructor enforces the command-enrolled invariant;
-    # reuse it so batch and scalar reject identically.
-    ScenarioRunner(scenario, device)
-    channel = scenario.channel()
-    rngs = list(rngs)
-    # Stage 1: the deterministic transmissions, once for the whole
-    # group — the attack emission and, if the scene has competing
-    # audio, the interference bed.
-    clean_attack = channel.transmit(sources, scenario.victim_position)
-    interference = scenario.interference_sources(
-        clean_attack.sample_rate
-    )
-    clean_interference = (
-        channel.transmit(interference, scenario.victim_position)
-        if interference
-        else None
-    )
-    outcomes: list[TrialOutcome] = []
-    # Stages 2+3 stream in bounded chunks: a 50-trial stack of
-    # acoustic-rate waveforms is hundreds of MB and several such
-    # temporaries live at once inside the filter chain, so capping the
-    # stack height keeps the working set cache-friendly. Chunking is
-    # invisible to the results — rows are independent and generators
-    # are consumed in trial order either way.
-    for start in range(0, len(rngs), _CHUNK_TRIALS):
-        chunk = rngs[start : start + _CHUNK_TRIALS]
-        # Per-trial motion gains consume each generator's first draw,
-        # exactly where the scalar trial draws them.
-        gains = [scenario.trial_gain(rng) for rng in chunk]
-        if clean_interference is None and all(
-            gain is None for gain in gains
-        ):
-            # Static, interference-free groups (the common case):
-            # every trial hears the same waveform, so hand
-            # ambient_batch the shared Signal instead of stacking
-            # identical copies of it.
-            clean: Signal | SignalBatch = clean_attack
-        else:
-            clean = _clean_rows(clean_attack, clean_interference, gains)
-        arrived = channel.ambient_batch(clean, chunk)
-        recordings = device.microphone.record_batch(arrived, chunk)
-        # Stage 4: recognition stays per-trial (DTW is sequential),
-        # but on compact device-rate rows rather than acoustic-rate
-        # waveforms.
-        for index in range(recordings.n_signals):
-            recording = recordings.row(index)
-            result = device.recognizer.recognize(recording)
-            outcomes.append(
-                TrialOutcome(
-                    success=result.accepted
-                    and result.command == scenario.command,
-                    recognized_command=result.command,
-                    accepted=result.accepted,
-                    distance=result.distance,
-                    recording=recording,
-                )
-            )
+    ctx = pipeline.context(group.resolve_sources())
+    outcomes = pipeline.run_trials(ctx, rngs, batch=True)
     if not keep_recordings:
         outcomes = [
             replace(outcome, recording=None) for outcome in outcomes

@@ -1,0 +1,86 @@
+"""Bounded caching for expensive deterministic artefacts.
+
+Shared by the execution layers: the engine's per-process emission
+cache, and the trial pipeline's trial-invariant precompute step (one
+transmitted interference bed per sample rate, bounded, instead of the
+unbounded per-runner dict it replaces). Lives below both so neither
+:mod:`repro.sim.pipeline` nor :mod:`repro.sim.engine` needs the other
+for its cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ExperimentError
+
+
+def stable_key(*parts: Any) -> str:
+    """A stable hex digest of heterogeneous, ``repr``-able key parts.
+
+    Used to key the emission cache by command + attacker
+    configuration; stable across processes (unlike ``hash``, which is
+    salted per interpreter for strings).
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(repr(part).encode())
+        digest.update(b"\x1f")
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction accounting for an :class:`EmissionCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+
+class EmissionCache:
+    """Process-local LRU cache for expensive deterministic artefacts.
+
+    Stores synthesised voices and attacker emissions keyed by
+    :func:`stable_key` digests. Entries can be tens of MB (full array
+    emissions), so the cache is bounded by *entry count*: within one
+    experiment every lookup hits, while a long ``all`` run cannot
+    accumulate every emission it ever built.
+    """
+
+    def __init__(self, max_entries: int = 16) -> None:
+        if max_entries < 1:
+            raise ExperimentError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get_or_compute(self, key: str, factory: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing it on miss."""
+        if key in self._entries:
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self.stats.misses += 1
+        value = factory()
+        self._entries[key] = value
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry and reset the statistics."""
+        self._entries.clear()
+        self.stats = CacheStats()

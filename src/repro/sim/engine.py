@@ -32,9 +32,7 @@ CLI (``--jobs``).
 
 from __future__ import annotations
 
-import hashlib
 import os
-from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Sequence
@@ -44,78 +42,23 @@ import numpy as np
 from repro.acoustics.channel import PlacedSource
 from repro.dsp.signals import Signal
 from repro.errors import ExperimentError
-from repro.sim.batch import run_group_batch, supports_batch
-from repro.sim.runner import ScenarioRunner, TrialOutcome
+from repro.sim.cache import CacheStats, EmissionCache, stable_key
+from repro.sim.pipeline import TrialOutcome, build_pipeline
 from repro.sim.scenario import Scenario, VictimDevice
 from repro.speech.commands import synthesize_command
 
-
-def stable_key(*parts: Any) -> str:
-    """A stable hex digest of heterogeneous, ``repr``-able key parts.
-
-    Used to key the emission cache by command + attacker
-    configuration; stable across processes (unlike ``hash``, which is
-    salted per interpreter for strings).
-    """
-    digest = hashlib.sha256()
-    for part in parts:
-        digest.update(repr(part).encode())
-        digest.update(b"\x1f")
-    return digest.hexdigest()
-
-
-@dataclass
-class CacheStats:
-    """Hit/miss/eviction accounting for an :class:`EmissionCache`."""
-
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-
-
-class EmissionCache:
-    """Process-local LRU cache for expensive deterministic artefacts.
-
-    Stores synthesised voices and attacker emissions keyed by
-    :func:`stable_key` digests. Entries can be tens of MB (full array
-    emissions), so the cache is bounded by *entry count*: within one
-    experiment every lookup hits, while a long ``all`` run cannot
-    accumulate every emission it ever built.
-    """
-
-    def __init__(self, max_entries: int = 16) -> None:
-        if max_entries < 1:
-            raise ExperimentError(
-                f"max_entries must be >= 1, got {max_entries}"
-            )
-        self.max_entries = max_entries
-        self.stats = CacheStats()
-        self._entries: OrderedDict[str, Any] = OrderedDict()
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def __contains__(self, key: str) -> bool:
-        return key in self._entries
-
-    def get_or_compute(self, key: str, factory: Callable[[], Any]) -> Any:
-        """Return the cached value for ``key``, computing it on miss."""
-        if key in self._entries:
-            self.stats.hits += 1
-            self._entries.move_to_end(key)
-            return self._entries[key]
-        self.stats.misses += 1
-        value = factory()
-        self._entries[key] = value
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
-        return value
-
-    def clear(self) -> None:
-        """Drop every entry and reset the statistics."""
-        self._entries.clear()
-        self.stats = CacheStats()
+__all__ = [
+    "CacheStats",
+    "EmissionCache",
+    "EmissionSpec",
+    "ExperimentEngine",
+    "TrialGroup",
+    "TrialOutcome",
+    "attack_range_search",
+    "cached_voice",
+    "process_cache",
+    "stable_key",
+]
 
 
 #: The per-process cache. Workers forked from a warm parent inherit
@@ -208,15 +151,17 @@ def _run_trial_batch(
     """Worker: execute one chunk of a group's trials.
 
     Module-level so it pickles by reference; the emission is resolved
-    here, inside the executing process, through its cache. With
-    ``use_batch`` set (the default engine mode) the chunk runs through
-    the vectorized kernel (:func:`repro.sim.batch.run_group_batch`) —
-    one transmission, stacked 2-D trial operations — falling back to
-    the scalar per-trial loop for groups the kernel cannot prove
-    equivalent (:func:`repro.sim.batch.supports_batch` reports the
-    structured refusal reason). Both paths consume the same spawned
-    generators in the same order, so their outcomes are bitwise
-    identical.
+    here, inside the executing process, through its cache. A thin
+    driver over the shared declarative pipeline
+    (:mod:`repro.sim.pipeline`): build the group's stage list once,
+    precompute the trial-invariant transmissions, then execute the
+    generators through it. With ``use_batch`` set (the default engine
+    mode) the pipeline runs its batched executor — one transmission,
+    stacked 2-D trial operations — and falls back to the scalar walk
+    of the *same* stage list for groups whose
+    :meth:`~repro.sim.pipeline.TrialPipeline.batch_support` fold
+    refuses. Both modes consume the same spawned generators in the
+    same per-stage order, so their outcomes are bitwise identical.
 
     When the caller only wants success statistics,
     ``keep_recordings=False`` drops each outcome's device-rate
@@ -224,11 +169,9 @@ def _run_trial_batch(
     recordings, not the results, are the dominant IPC cost.
     """
     group, rngs, keep_recordings, use_batch = task
-    if use_batch and supports_batch(group):
-        return run_group_batch(group, rngs, keep_recordings)
-    runner = ScenarioRunner(group.scenario, group.device)
-    sources = group.resolve_sources()
-    outcomes = [runner.run_trial(sources, rng) for rng in rngs]
+    pipeline = build_pipeline(group.scenario, group.device)
+    ctx = pipeline.context(group.resolve_sources())
+    outcomes = pipeline.run_trials(ctx, rngs, batch=use_batch)
     if not keep_recordings:
         outcomes = [
             replace(outcome, recording=None) for outcome in outcomes

@@ -1,4 +1,4 @@
-"""Scenario execution: the full attack chain, once per trial.
+"""Scenario execution: the scalar driver over the trial pipeline.
 
 The runner separates *emission* (expensive, deterministic per command
 and attacker) from *trials* (cheap, stochastic): the attacker's
@@ -6,53 +6,28 @@ radiated waveforms are computed once and reused while ambient noise and
 microphone self-noise are redrawn per trial — matching how the paper
 repeats a fixed attack signal 50 times.
 
-Environmental scenario features all slot into that same split. Rooms
-and deterministic interference beds change only the (trial-invariant)
-transmission; a walking attacker adds one per-trial uniform draw that
-scales the arrived attack wave. The per-trial draw order — motion
-gain, ambient noise, microphone self-noise — is the contract the
-vectorized batch kernel (:mod:`repro.sim.batch`) reproduces bitwise.
+Since :mod:`repro.sim.pipeline` the runner no longer states the trial
+chain itself: it builds the declarative :class:`TrialPipeline` for its
+(scenario, device) pair and walks each trial through the pipeline's
+scalar executor. The per-trial draw order — motion gain, ambient
+noise, microphone self-noise — therefore lives in exactly one place,
+and the vectorized batch kernel (:mod:`repro.sim.batch`) reproduces it
+bitwise because it executes the *same* stage list, not a synchronized
+copy.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 import numpy as np
 
 from repro.acoustics.channel import PlacedSource
 from repro.dsp.signals import Signal
+from repro.sim.pipeline import TrialOutcome, build_pipeline
 from repro.sim.scenario import Scenario, VictimDevice
 from repro.speech.commands import synthesize_command
 from repro.errors import ExperimentError
 
-
-@dataclass(frozen=True)
-class TrialOutcome:
-    """Result of one attack trial.
-
-    Attributes
-    ----------
-    success:
-        The device recognised the *intended* command.
-    recognized_command:
-        What the device actually heard (best match).
-    accepted:
-        Whether the recogniser accepted any command at all.
-    distance:
-        DTW distance of the best match.
-    recording:
-        The device-rate recording (kept for defense experiments;
-        ``None`` when the engine ran with ``keep_recordings=False``
-        so success-rate waves don't ship waveforms between
-        processes).
-    """
-
-    success: bool
-    recognized_command: str
-    accepted: bool
-    distance: float
-    recording: Signal | None
+__all__ = ["ScenarioRunner", "TrialOutcome"]
 
 
 class ScenarioRunner:
@@ -65,24 +40,14 @@ class ScenarioRunner:
     device:
         The victim; its recogniser must have the scenario's command
         enrolled, otherwise success is impossible by construction and
-        the runner refuses to proceed.
+        the runner refuses to proceed (enforced by
+        :func:`repro.sim.pipeline.build_pipeline`).
     """
 
     def __init__(self, scenario: Scenario, device: VictimDevice) -> None:
-        if scenario.command not in device.recognizer.commands:
-            raise ExperimentError(
-                f"device {device.name!r} has no template for command "
-                f"{scenario.command!r}; enrolled: "
-                f"{device.recognizer.commands}"
-            )
         self.scenario = scenario
         self.device = device
-        self._channel = scenario.channel()
-        # The interference bed is deterministic and trial-invariant;
-        # transmit it once per (runner, sample rate) instead of once
-        # per trial. Keyed by rate because callers may pass emissions
-        # at different acoustic rates to one runner.
-        self._interference_cache: dict[float, Signal] = {}
+        self.pipeline = build_pipeline(scenario, device)
 
     def synthesize_voice(self, rng: np.random.Generator) -> Signal:
         """The target command waveform the attacker starts from."""
@@ -93,46 +58,16 @@ class ScenarioRunner:
         sources: list[PlacedSource],
         rng: np.random.Generator,
     ) -> TrialOutcome:
-        """One trial: propagate given emissions, record, recognise.
+        """One trial: the scalar walk of the shared stage list.
 
-        Per-trial draw order (the batch kernel's contract): the
-        walking-attacker gain (if the scenario moves), the ambient
-        noise, then the microphone self-noise.
+        The trial-invariant transmissions (attack wave and, if the
+        scene has competing audio, the interference bed) come from the
+        pipeline's precompute step — the bed is cached per sample rate
+        in a bounded :class:`~repro.sim.cache.EmissionCache` rather
+        than re-propagated every trial.
         """
-        if not sources:
-            raise ExperimentError("run_trial needs at least one source")
-        clean = self._channel.transmit(
-            sources, self.scenario.victim_position
-        )
-        gain = self.scenario.trial_gain(rng)
-        if gain is not None:
-            clean = clean * gain
-        if self.scenario.interference:
-            clean = clean + self._transmitted_interference(
-                clean.sample_rate
-            )
-        arrived = self._channel.add_ambient(clean, rng)
-        recording = self.device.microphone.record(arrived, rng)
-        result = self.device.recognizer.recognize(recording)
-        return TrialOutcome(
-            success=result.accepted
-            and result.command == self.scenario.command,
-            recognized_command=result.command,
-            accepted=result.accepted,
-            distance=result.distance,
-            recording=recording,
-        )
-
-    def _transmitted_interference(self, sample_rate: float) -> Signal:
-        """The interference bed arrived at the victim, cached."""
-        cached = self._interference_cache.get(sample_rate)
-        if cached is None:
-            cached = self._channel.transmit(
-                self.scenario.interference_sources(sample_rate),
-                self.scenario.victim_position,
-            )
-            self._interference_cache[sample_rate] = cached
-        return cached
+        ctx = self.pipeline.context(sources)
+        return self.pipeline.run_scalar(ctx, rng)
 
     def run_trials(
         self,
@@ -140,9 +75,17 @@ class ScenarioRunner:
         n_trials: int,
         rng: np.random.Generator,
     ) -> list[TrialOutcome]:
-        """Repeat :meth:`run_trial` with fresh noise draws."""
+        """Repeated trials with fresh noise draws.
+
+        The trial-invariant precompute runs once for the whole
+        repetition — the same amortisation the engine path gets — so
+        only the per-trial stages repeat.
+        """
         if n_trials < 1:
             raise ExperimentError(
                 f"n_trials must be >= 1, got {n_trials}"
             )
-        return [self.run_trial(sources, rng) for _ in range(n_trials)]
+        ctx = self.pipeline.context(sources)
+        return [
+            self.pipeline.run_scalar(ctx, rng) for _ in range(n_trials)
+        ]

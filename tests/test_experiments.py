@@ -203,16 +203,30 @@ class TestCli:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["T2", "--scenario", "underwater"])
 
-    def test_scenario_capable_registry(self):
-        from repro.experiments.__main__ import (
-            scenario_capable_experiments,
-        )
+    def test_every_experiment_is_scenario_capable(self):
+        """The skip-list era is over: all 15 accept ``scenario``."""
+        import inspect
 
-        capable = scenario_capable_experiments()
-        assert {"T1", "T2", "F3", "F4", "F6"} <= set(capable)
+        for name, module in ALL_EXPERIMENTS.items():
+            parameters = inspect.signature(module.run).parameters
+            assert "scenario" in parameters, name
 
-    def test_scenario_on_incapable_experiment_is_a_clean_error(
-        self, capsys
-    ):
-        assert main(["F1", "--scenario", "living_room"]) == 2
-        assert "does not take --scenario" in capsys.readouterr().err
+    def test_scenario_on_every_experiment_cli(self, capsys):
+        # F1 is the cheapest full-chain experiment; the same kwarg
+        # plumbing serves all 15 (pinned by the signature test above).
+        assert main(["F1", "--scenario", "living_room"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario: living_room" in out
+
+    def test_list_scenarios_flag(self, capsys):
+        from repro.sim.spec import scenario_names
+
+        assert main(["--list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+        assert "anechoic baseline" in out  # one-line descriptions
+
+    def test_missing_experiment_is_a_clean_error(self, capsys):
+        assert main([]) == 2
+        assert "experiment ID" in capsys.readouterr().err

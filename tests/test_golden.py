@@ -8,9 +8,11 @@ header fails loudly here — which is exactly what makes refactors such
 as the vectorized batch kernel safe to land.
 
 Beyond the 15 free-field tables, the scenario dimension is pinned for
-the range/accuracy flagships: ``<EXP>@<scenario>.txt`` freezes T2 and
-F4 inside a reverberant living room and against a walking attacker,
-so an environment-model change cannot drift silently either.
+the range/accuracy flagships *and* the defense: ``<EXP>@<scenario>.txt``
+freezes T2 and F4 inside a reverberant living room and against a
+walking attacker, T3 inside the living room and F8 under TV
+interference — so neither an environment-model change nor a
+defense-dataset change can drift silently.
 
 To re-bless after an intentional change::
 
@@ -34,6 +36,8 @@ SCENARIO_CASES = [
     ("T2", "walking_attacker"),
     ("F4", "living_room"),
     ("F4", "walking_attacker"),
+    ("T3", "living_room"),
+    ("F8", "tv_interference"),
 ]
 
 
