@@ -1,0 +1,193 @@
+"""Benchmark the streaming guard: parity gate + fleet throughput.
+
+Two measurements, recorded to ``BENCH_stream.json`` for CI's
+run-over-run trajectory:
+
+* **Parity** — the chunked streaming guard must agree with the
+  offline guard *bitwise* on an attack and a genuine probe at several
+  chunk sizes (the S1/test-suite guarantee, re-checked here so the
+  throughput number can never be quoted from a diverged
+  implementation).
+* **Fleet throughput** — a mostly-idle device fleet (ambient with one
+  command per stream, the duty cycle real assistants see) streamed
+  through per-device guards on a thread pool. The headline figure is
+  ``sustained_streams``: stream-seconds of audio processed per wall
+  second, i.e. how many live 1x device streams this machine holds.
+  The gate requires >= 100.
+
+Usage::
+
+    python benchmarks/bench_stream.py --quick    # CI smoke (same gates)
+    python benchmarks/bench_stream.py            # paper numbers
+    python benchmarks/bench_stream.py --output /tmp/bench.json
+
+Exits non-zero if parity fails or the sustained-stream gate misses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+import numpy as np
+
+from repro.experiments.s1_streaming import (
+    chunked_parity_probes,
+    train_detector,
+)
+from repro.sim.results import ResultTable
+from repro.stream.fleet import FleetConfig, FleetSimulator
+
+#: The acceptance gate: live 1x device streams the machine must hold.
+SUSTAINED_STREAMS_GATE = 100
+
+
+def bench_parity(seed: int, scenario: str) -> dict:
+    """Chunked-vs-offline bitwise agreement on both probe classes.
+
+    Walks the same probe loop as the S1 experiment
+    (:func:`repro.experiments.s1_streaming.chunked_parity_probes`),
+    so this gate can never drift from the table it re-checks.
+    """
+    detector = train_detector(scenario, seed, n_trials=2)
+    cases = [
+        {"probe": kind, "chunk_ms": chunk_ms, "bitwise": bitwise}
+        for kind, chunk_ms, _, bitwise in chunked_parity_probes(
+            scenario, seed, (10, 50, 250), detector
+        )
+    ]
+    return {
+        "workload": f"chunked vs offline parity ({scenario})",
+        "cases": cases,
+        "identical": all(case["bitwise"] for case in cases),
+    }
+
+
+def bench_fleet(quick: bool, seed: int, scenario: str) -> dict:
+    """Sustained concurrent streams on a mostly-idle fleet."""
+    detector = train_detector(scenario, seed, n_trials=2)
+    config = FleetConfig(
+        scenario=scenario,
+        n_streams=120,
+        utterances_per_stream=1,
+        attack_fraction=0.5,
+        # Mostly-idle duty cycle: one command inside seconds of
+        # ambient, the load profile the paper's always-on deployment
+        # actually faces. Quick mode shortens the idle stretches
+        # (less audio, same per-utterance work — a *harder* gate).
+        lead_in_s=0.5,
+        gap_s=6.0 if quick else 10.0,
+        chunk_s=0.05,
+        seed=seed + 3,
+        workers=max(1, (os.cpu_count() or 2)),
+    )
+    report = FleetSimulator(detector, config).run()
+    latencies = report.latencies_s()
+    sustained = int(report.realtime_factor)
+    return {
+        "workload": (
+            f"fleet: {config.n_streams} streams x "
+            f"{config.utterances_per_stream} utterance, "
+            f"{config.gap_s:.0f} s idle gap ({scenario})"
+        ),
+        "n_streams": config.n_streams,
+        "workers": config.workers,
+        "audio_seconds": report.audio_seconds,
+        "wall_seconds": report.wall_seconds,
+        "prepare_seconds": report.prepare_seconds,
+        "realtime_factor": report.realtime_factor,
+        "sustained_streams": sustained,
+        "utterances": report.n_utterances,
+        "vetoed": report.n_vetoed,
+        "executed": report.n_executed,
+        "rejected": report.n_rejected,
+        "mean_latency_ms": (
+            1000.0 * float(np.mean(latencies)) if latencies else 0.0
+        ),
+        "p95_latency_ms": (
+            1000.0 * float(np.percentile(latencies, 95))
+            if latencies
+            else 0.0
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="streaming guard: parity gate + fleet throughput"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shorter idle stretches (CI smoke); same parity and "
+        f">= {SUSTAINED_STREAMS_GATE}-stream gates as full mode",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scenario", default="free_field")
+    parser.add_argument(
+        "--output",
+        default="BENCH_stream.json",
+        help="where to write the JSON record (default: "
+        "BENCH_stream.json)",
+    )
+    args = parser.parse_args(argv)
+    parity = bench_parity(args.seed, args.scenario)
+    fleet = bench_fleet(args.quick, args.seed, args.scenario)
+    record = {
+        "benchmark": "streaming guard parity + fleet throughput",
+        "quick": args.quick,
+        "seed": args.seed,
+        "scenario": args.scenario,
+        "gate_sustained_streams": SUSTAINED_STREAMS_GATE,
+        "results": [parity, fleet],
+    }
+    with open(args.output, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    table = ResultTable(
+        title="streaming guard: fleet throughput",
+        columns=[
+            "workload",
+            "streams",
+            "audio s",
+            "wall s",
+            "sustained",
+            "mean lat ms",
+        ],
+    )
+    table.add_row(
+        fleet["workload"],
+        fleet["n_streams"],
+        fleet["audio_seconds"],
+        fleet["wall_seconds"],
+        fleet["sustained_streams"],
+        fleet["mean_latency_ms"],
+    )
+    print(table.render())
+    print(f"wrote {args.output}", file=sys.stderr)
+    if not parity["identical"]:
+        print(
+            "FAIL: chunked streaming diverged from the offline guard",
+            file=sys.stderr,
+        )
+        return 1
+    if fleet["sustained_streams"] < SUSTAINED_STREAMS_GATE:
+        print(
+            f"FAIL: sustains {fleet['sustained_streams']} concurrent "
+            f"streams, gate is {SUSTAINED_STREAMS_GATE}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"ok: parity bitwise, {fleet['sustained_streams']} concurrent "
+        f"streams sustained "
+        f"(mean latency {fleet['mean_latency_ms']:.0f} ms)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -112,8 +112,32 @@ class InaudibleVoiceDetector:
 
     def classify(self, recording: Signal) -> DetectionResult:
         """Full verdict on a single recording."""
-        self._require_fitted()
+        self._require_fitted()  # before paying for feature extraction
         vector = feature_vector(recording, subset=self.feature_subset)
+        return self.classify_features(vector)
+
+    def classify_features(self, vector: np.ndarray) -> DetectionResult:
+        """Verdict on an already-extracted feature vector.
+
+        The scoring half of :meth:`classify`, exposed for callers
+        that obtain the features elsewhere — the streaming guard
+        accumulates them incrementally as an utterance's chunks
+        arrive, then scores here through exactly the arithmetic the
+        offline path uses (which is what makes the two bitwise
+        identical).
+        """
+        self._require_fitted()
+        vector = np.asarray(vector, dtype=np.float64)
+        width = (
+            len(self.feature_subset)
+            if self.feature_subset is not None
+            else len(FEATURE_NAMES)
+        )
+        if vector.shape != (width,):
+            raise DefenseError(
+                f"expected a feature vector of shape ({width},), got "
+                f"{vector.shape}"
+            )
         standardized = self._scaler.transform(vector.reshape(1, -1))
         score = float(self._classifier.decision_scores(standardized)[0])
         return DetectionResult(

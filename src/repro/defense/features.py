@@ -29,9 +29,17 @@ FEATURE_NAMES: tuple[str, ...] = (
 )
 
 
-def features_from_analysis(analysis: TraceAnalysis) -> np.ndarray:
-    """Assemble the vector from a completed trace analysis."""
-    return np.array(
+def features_from_analysis(
+    analysis: TraceAnalysis, subset: tuple[str, ...] | None = None
+) -> np.ndarray:
+    """Assemble the vector from a completed trace analysis.
+
+    ``subset`` selects entries by name exactly like
+    :func:`feature_vector` — the streaming guard builds its vectors
+    here from incrementally-accumulated analyses, and the selection
+    must match the offline path's.
+    """
+    full = np.array(
         [
             analysis.trace_power_db,
             analysis.trace_to_voice_db,
@@ -41,6 +49,7 @@ def features_from_analysis(analysis: TraceAnalysis) -> np.ndarray:
         ],
         dtype=np.float64,
     )
+    return _select(full, subset)
 
 
 def feature_vector(

@@ -11,6 +11,7 @@ recognised, whether the guard fired, what the device ultimately did).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.defense.detector import DetectionResult, InaudibleVoiceDetector
 from repro.dsp.signals import Signal
@@ -41,6 +42,44 @@ class GuardedOutcome:
     recognition: RecognitionResult
     detection: DetectionResult | None
     vetoed: bool
+
+
+def guard_outcome(
+    recognition: RecognitionResult,
+    detect: Callable[[], DetectionResult],
+) -> GuardedOutcome:
+    """Fold a recognition result and a (lazy) detection into an outcome.
+
+    The single statement of the guard's decision policy — consult the
+    detector only when recognition accepted, veto on a positive
+    verdict, otherwise execute. Both the offline
+    :class:`GuardedVoiceAssistant` and the online
+    :class:`repro.stream.guard.StreamingGuard` decide through this
+    function, so the two deployments cannot drift apart: they differ
+    only in *how* ``detect`` obtains its features (whole recording vs
+    incremental accumulation), which the parity suites pin bitwise.
+    """
+    if not recognition.accepted:
+        return GuardedOutcome(
+            executed_command=None,
+            recognition=recognition,
+            detection=None,
+            vetoed=False,
+        )
+    detection = detect()
+    if detection.is_attack:
+        return GuardedOutcome(
+            executed_command=None,
+            recognition=recognition,
+            detection=detection,
+            vetoed=True,
+        )
+    return GuardedOutcome(
+        executed_command=recognition.command,
+        recognition=recognition,
+        detection=detection,
+        vetoed=False,
+    )
 
 
 class GuardedVoiceAssistant:
@@ -77,26 +116,8 @@ class GuardedVoiceAssistant:
     def process(self, recording: Signal) -> GuardedOutcome:
         """Handle one recording exactly as device firmware would."""
         recognition = self.recognizer.recognize(recording)
-        if not recognition.accepted:
-            return GuardedOutcome(
-                executed_command=None,
-                recognition=recognition,
-                detection=None,
-                vetoed=False,
-            )
-        detection = self.detector.classify(recording)
-        if detection.is_attack:
-            return GuardedOutcome(
-                executed_command=None,
-                recognition=recognition,
-                detection=detection,
-                vetoed=True,
-            )
-        return GuardedOutcome(
-            executed_command=recognition.command,
-            recognition=recognition,
-            detection=detection,
-            vetoed=False,
+        return guard_outcome(
+            recognition, lambda: self.detector.classify(recording)
         )
 
     def attack_succeeds(self, recording: Signal, command: str) -> bool:

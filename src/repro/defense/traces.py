@@ -29,6 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.dsp.filters import band_pass_array
+from repro.dsp.framing import frame_count
 from repro.dsp.measures import (
     max_cross_correlation,
     power_ratio_to_db,
@@ -44,6 +45,16 @@ TRACE_BAND_HZ = (15.0, 50.0)
 
 #: The voice band used as the reference, hertz.
 VOICE_BAND_HZ = (300.0, 3000.0)
+
+#: Welch segment length (samples) of the trace PSD estimate; signals
+#: shorter than one segment fall back to a single padded FFT of their
+#: own length. The streaming accumulator shares these so its online
+#: estimate is the same estimator.
+TRACE_SEGMENT_SAMPLES = 8192
+
+#: Welch window of the trace PSD estimate (see the rationale at the
+#: call site in :func:`analyze_traces_batch`).
+TRACE_WINDOW = "blackman"
 
 
 def band_envelope(
@@ -94,7 +105,8 @@ def band_envelope_matrix(
         order=8,
     )
     frame_len = int(round(frame_s * batch.sample_rate))
-    n_frames = banded.shape[-1] // frame_len
+    # Contiguous frames: hop == frame_len, trailing remainder dropped.
+    n_frames = frame_count(banded.shape[-1], frame_len, frame_len)
     frames = banded[:, : n_frames * frame_len].reshape(
         batch.n_signals, n_frames, frame_len
     )
@@ -185,20 +197,38 @@ def analyze_traces_batch(batch: SignalBatch) -> list[TraceAnalysis]:
     envelopes rather than full recordings. Per-row results are bitwise
     independent of how recordings are grouped into batches.
     """
-    if batch.sample_rate < 8000.0:
-        raise DefenseError(
-            "trace analysis needs at least an 8 kHz recording, got "
-            f"{batch.sample_rate} Hz"
-        )
     # Blackman window: the Hann sidelobe floor (-31 dB first lobe)
     # leaks the speech fundamental into the sub-50 Hz bins and masks
     # weak traces; Blackman's -58 dB sidelobes keep the estimate clean.
     freqs, psd = welch_psd_matrix(
         batch.samples,
         batch.sample_rate,
-        segment_length=min(8192, batch.n_samples),
-        window="blackman",
+        segment_length=min(TRACE_SEGMENT_SAMPLES, batch.n_samples),
+        window=TRACE_WINDOW,
     )
+    return analyses_from_psd(batch, freqs, psd)
+
+
+def analyses_from_psd(
+    batch: SignalBatch, freqs: np.ndarray, psd: np.ndarray
+) -> list[TraceAnalysis]:
+    """Assemble trace analyses from an already-estimated Welch PSD.
+
+    The back half of :func:`analyze_traces_batch`, split out so the
+    streaming guard's incremental extractor — which accumulates the
+    same Welch segments online as an utterance's chunks arrive — can
+    finish through *the same* band-power, envelope and correlation
+    arithmetic and stay bitwise identical to the offline path. ``psd``
+    must be the ``(n_signals, n_bins)`` matrix a
+    :data:`TRACE_WINDOW`-windowed Welch estimate of ``batch`` produces
+    (:func:`~repro.dsp.spectrum.welch_psd_matrix` offline,
+    :class:`repro.stream.features.WelchAccumulator` online).
+    """
+    if batch.sample_rate < 8000.0:
+        raise DefenseError(
+            "trace analysis needs at least an 8 kHz recording, got "
+            f"{batch.sample_rate} Hz"
+        )
     bin_width = float(freqs[1] - freqs[0]) if len(freqs) > 1 else 0.0
     # Row-wise 1-D sums, matching PowerSpectrum.total_power bitwise
     # (a 2-D axis reduction pairs additions differently by an ulp).

@@ -21,6 +21,9 @@ package:
     dB conversions, RMS/SNR/THD and correlation measures.
 ``windows``
     Window functions used by the spectral estimators.
+``framing``
+    Frame/hop arithmetic shared by the VAD, the defense envelopes and
+    the streaming chunker (one statement of the frame grid).
 """
 
 from repro.dsp.signals import (
@@ -42,6 +45,12 @@ from repro.dsp.filters import (
     fir_low_pass,
     high_pass,
     low_pass,
+)
+from repro.dsp.framing import (
+    frame_count,
+    frame_params,
+    frame_rms,
+    sliding_frames,
 )
 from repro.dsp.resample import rational_ratio, resample, upsample_to
 from repro.dsp.modulation import (
@@ -91,6 +100,10 @@ __all__ = [
     "band_stop",
     "fir_low_pass",
     "fir_band_pass",
+    "frame_params",
+    "frame_count",
+    "sliding_frames",
+    "frame_rms",
     "resample",
     "upsample_to",
     "rational_ratio",

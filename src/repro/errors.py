@@ -84,3 +84,12 @@ class DefenseError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was misconfigured, e.g. an empty sweep."""
+
+
+class StreamError(ReproError):
+    """Invalid use of the online streaming layer.
+
+    Raised for reads outside a ring buffer's retained window, pushes
+    into a closed stream, or finalising an utterance that received no
+    samples.
+    """

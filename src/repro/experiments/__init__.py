@@ -21,6 +21,7 @@ F6    Per-device accuracy vs distance (phone vs echo)
 F7    Defense trace feature separation
 F8    Defense ROC / accuracy
 F9    Adaptive attacker vs defense
+S1    Streaming guard: online parity, latency, device fleet
 T1    Attack range vs speaker input power
 T2    End-to-end success rates (50 trials)
 T3    Defense accuracy across generalisation splits
@@ -43,6 +44,7 @@ from repro.experiments import (  # noqa: F401
     f7_defense_traces,
     f8_defense_roc,
     f9_adaptive_attacker,
+    s1_streaming,
     t1_range_vs_power,
     t2_success_rates,
     t3_defense_accuracy,
@@ -58,6 +60,7 @@ ALL_EXPERIMENTS = {
     "F7": f7_defense_traces,
     "F8": f8_defense_roc,
     "F9": f9_adaptive_attacker,
+    "S1": s1_streaming,
     "T1": t1_range_vs_power,
     "T2": t2_success_rates,
     "T3": t3_defense_accuracy,

@@ -13,7 +13,7 @@ EXPERIMENTS.md, ``--seed N`` to vary the master seed, and ``--jobs N``
 to bound the worker pool (default: all CPU cores; ``--jobs 1`` runs
 serially). ``--no-batch`` disables the vectorized batch trial kernel
 and walks the scalar stage list instead. ``--scenario NAME`` runs any
-experiment — every one of the 15 accepts it — in a registered
+experiment — every one of the 16 accepts it — in a registered
 environment (``repro.sim.spec``): a reverberant room, a walking
 attacker, TV interference, outdoor wind; ``--list-scenarios`` prints
 the registry. Rendered tables go to stdout and are byte-identical for

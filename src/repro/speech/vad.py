@@ -10,8 +10,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.dsp.framing import frame_params, frame_rms
 from repro.dsp.signals import Signal
-from repro.errors import RecognitionError
+from repro.errors import RecognitionError, SignalDomainError
 
 
 def frame_energies(
@@ -22,22 +23,24 @@ def frame_energies(
     """Per-frame RMS energies.
 
     Returns an array of length ``n_frames``; raises if the signal is
-    shorter than one frame.
+    shorter than one frame. The framing arithmetic and the per-frame
+    reduction live in :mod:`repro.dsp.framing`, shared with the
+    streaming chunker so online energies match these bitwise.
     """
-    rate = signal.sample_rate
-    frame_len = int(round(frame_length_s * rate))
-    hop = int(round(hop_length_s * rate))
-    if frame_len <= 0 or hop <= 0:
-        raise RecognitionError("frame and hop lengths must be positive")
+    try:
+        frame_len, hop = frame_params(
+            signal.sample_rate, frame_length_s, hop_length_s
+        )
+    except SignalDomainError:
+        raise RecognitionError(
+            "frame and hop lengths must be positive"
+        ) from None
     if signal.n_samples < frame_len:
         raise RecognitionError(
             f"signal ({signal.n_samples} samples) shorter than one VAD "
             f"frame ({frame_len})"
         )
-    frames = np.lib.stride_tricks.sliding_window_view(
-        signal.samples, frame_len
-    )[::hop]
-    return np.sqrt(np.mean(np.square(frames), axis=1))
+    return frame_rms(signal.samples, frame_len, hop)
 
 
 def voice_activity(
@@ -93,10 +96,11 @@ def trim_silence(
     active_indices = np.flatnonzero(mask)
     if active_indices.size == 0:
         return signal.copy()
-    hop = int(round(hop_length_s * signal.sample_rate))
+    frame_len, hop = frame_params(
+        signal.sample_rate, frame_length_s, hop_length_s
+    )
     pad = int(round(padding_s * signal.sample_rate))
     start = max(0, active_indices[0] * hop - pad)
-    frame_len = int(round(frame_length_s * signal.sample_rate))
     end = min(
         signal.n_samples, active_indices[-1] * hop + frame_len + pad
     )

@@ -1,0 +1,70 @@
+"""Online streaming: the defense as it would actually deploy.
+
+Every other execution path in this repository is offline batch — a
+complete recording in, a verdict out. This package is the online
+counterpart: audio arrives as arbitrary-sized chunks, utterances are
+delimited causally, and the defense's features accumulate
+incrementally so the verdict lands a bounded, deterministic time
+after the speech ends.
+
+``chunker``
+    :class:`~repro.stream.chunker.ChunkedStream`, the
+    absolute-indexed ring buffer and its frame grid (shared with the
+    offline VAD through :mod:`repro.dsp.framing`).
+``segmenter``
+    :class:`~repro.stream.segmenter.OnlineSegmenter`, the causal
+    VAD gate with hysteresis and a noise-floor tracker.
+``features``
+    :class:`~repro.stream.features.WelchAccumulator` and
+    :class:`~repro.stream.features.StreamingTraceExtractor` —
+    incremental defense features, bitwise-matched to the offline
+    estimators at utterance close.
+``guard``
+    :class:`~repro.stream.guard.StreamingGuard`, the online guarded
+    assistant (same :class:`~repro.defense.guard.GuardedOutcome`, same
+    decision policy as the offline one).
+``fleet``
+    :class:`~repro.stream.fleet.FleetSimulator`, hundreds of
+    concurrent device streams multiplexed over the batched trial
+    pipeline, with per-stream ``SeedSequence`` randomness and
+    worker-count-independent results.
+"""
+
+from repro.stream.chunker import ChunkedStream
+from repro.stream.features import (
+    StreamingTraceExtractor,
+    WelchAccumulator,
+)
+from repro.stream.fleet import (
+    FleetConfig,
+    FleetReport,
+    FleetSimulator,
+    StreamResult,
+    UtteranceDigest,
+    synthesize_utterances,
+)
+from repro.stream.guard import StreamingGuard, UtteranceOutcome
+from repro.stream.segmenter import (
+    OnlineSegmenter,
+    SegmenterConfig,
+    UtteranceClosed,
+    UtteranceOpened,
+)
+
+__all__ = [
+    "ChunkedStream",
+    "WelchAccumulator",
+    "StreamingTraceExtractor",
+    "OnlineSegmenter",
+    "SegmenterConfig",
+    "UtteranceOpened",
+    "UtteranceClosed",
+    "StreamingGuard",
+    "UtteranceOutcome",
+    "FleetConfig",
+    "FleetReport",
+    "FleetSimulator",
+    "StreamResult",
+    "UtteranceDigest",
+    "synthesize_utterances",
+]

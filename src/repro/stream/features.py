@@ -1,0 +1,278 @@
+"""Stateful incremental defense-feature extraction.
+
+The offline defense measures an utterance once it is complete:
+:func:`repro.defense.traces.analyze_traces` runs a Welch PSD and band
+envelopes over the whole recording. Online, the guard cannot wait —
+an utterance arrives as chunks, and the expensive half of the
+measurement (the Welch accumulation over acoustic-scale FFT segments)
+would otherwise land as one lump of latency at utterance close.
+
+:class:`WelchAccumulator` streams that half: it consumes exactly the
+segment sequence :func:`repro.dsp.spectrum.welch_psd_matrix` would
+walk — same segment starts, same window, same accumulation order —
+as soon as each segment's samples are *committed* (guaranteed to lie
+inside the eventual utterance). Because float addition order and the
+per-segment arithmetic are identical, the finalized PSD is bitwise
+equal to the offline estimate of the closed utterance, which is the
+foundation of the streaming guard's parity guarantee.
+
+:class:`StreamingTraceExtractor` wraps the accumulator with the
+utterance sample buffer and finishes through
+:func:`repro.defense.traces.analyses_from_psd` — the same band-power,
+envelope and correlation arithmetic the offline path uses. The band
+envelopes are zero-phase (non-causal) filters and are therefore
+computed at close over the retained utterance, a few seconds of audio
+per stream; the Welch work, the dominant cost, is already done by
+then.
+
+Commit semantics: ``feed`` may run ahead of the utterance's eventual
+end (the segmenter only knows the end retroactively, after its
+hangover), so segments are accumulated only up to ``commit(n)`` — a
+monotone lower bound on the final length. ``finalize(length)`` then
+processes the remaining whole segments below ``length`` and
+assembles the analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.defense.traces import (
+    TRACE_SEGMENT_SAMPLES,
+    TRACE_WINDOW,
+    TraceAnalysis,
+    analyses_from_psd,
+)
+from repro.dsp import windows as win
+from repro.dsp.signals import SignalBatch, Unit
+from repro.dsp.spectrum import welch_psd_matrix
+from repro.errors import StreamError
+
+
+class WelchAccumulator:
+    """Online Welch PSD, bitwise-matched to the offline estimator.
+
+    Mirrors :func:`repro.dsp.spectrum.welch_psd_matrix` with
+    ``segment_length = min(segment_length, n_samples)`` semantics:
+    while the signal is at least one segment long, segments start at
+    ``0, step, 2*step, ...`` and accumulate in that order; a signal
+    shorter than one segment falls back to the matrix estimator's
+    single padded FFT at :meth:`finalize`, by calling it.
+
+    ``advance`` accumulates every segment that fits entirely below
+    ``committed`` — the caller's promise that those samples are final.
+    """
+
+    def __init__(
+        self,
+        sample_rate: float,
+        segment_length: int = TRACE_SEGMENT_SAMPLES,
+        overlap: float = 0.5,
+        window: str = TRACE_WINDOW,
+    ) -> None:
+        if segment_length < 2:
+            raise StreamError(
+                f"segment_length must be >= 2, got {segment_length}"
+            )
+        if not 0 <= overlap < 1:
+            raise StreamError(
+                f"overlap must be in [0, 1), got {overlap}"
+            )
+        self.sample_rate = float(sample_rate)
+        self.segment_length = int(segment_length)
+        self.overlap = float(overlap)
+        self.window = window
+        self.step = max(1, int(round(segment_length * (1 - overlap))))
+        self._w = win.get_window(window, self.segment_length)
+        self._scale = 1.0 / (
+            self.sample_rate * np.sum(np.square(self._w))
+        )
+        self._acc = np.zeros((1, self.segment_length // 2 + 1))
+        self._count = 0
+        self._next_start = 0
+
+    @property
+    def segments_accumulated(self) -> int:
+        """Segments folded into the running estimate so far."""
+        return self._count
+
+    def advance(self, buffer: np.ndarray, committed: int) -> None:
+        """Accumulate every whole segment below ``committed``.
+
+        ``buffer`` is the utterance's contiguous sample prefix (at
+        least ``committed`` samples long). Safe to call repeatedly
+        with a growing bound; each segment is consumed exactly once,
+        in offline order.
+        """
+        if committed > buffer.shape[0]:
+            raise StreamError(
+                f"committed {committed} beyond buffered "
+                f"{buffer.shape[0]} samples"
+            )
+        n_seg = self.segment_length
+        while self._next_start + n_seg <= committed:
+            start = self._next_start
+            segment = buffer[np.newaxis, start : start + n_seg] * self._w
+            spectrum = np.fft.rfft(segment, axis=-1)
+            self._acc += np.square(np.abs(spectrum)) * self._scale
+            self._count += 1
+            self._next_start += self.step
+
+    def finalize(
+        self, buffer: np.ndarray, length: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The ``(frequencies, psd)`` of the closed ``length``-sample
+        utterance, bitwise equal to the offline matrix estimator.
+
+        Signals shorter than one segment delegate wholly to
+        :func:`~repro.dsp.spectrum.welch_psd_matrix` (whose segment
+        length collapses to the signal length); longer signals finish
+        the remaining committed segments here and apply the same
+        averaging and one-sided correction.
+        """
+        if length < 1:
+            raise StreamError(
+                f"cannot finalize an empty utterance (length {length})"
+            )
+        if length < self.segment_length:
+            if self._count:
+                raise StreamError(
+                    f"{self._count} segments were committed but the "
+                    f"utterance closed at {length} samples — commit() "
+                    "overran the close boundary"
+                )
+            return welch_psd_matrix(
+                buffer[np.newaxis, :length],
+                self.sample_rate,
+                segment_length=min(self.segment_length, length),
+                overlap=self.overlap,
+                window=self.window,
+            )
+        n_seg = self.segment_length
+        if self._count and self._next_start - self.step + n_seg > length:
+            raise StreamError(
+                "an accumulated segment extends past the close "
+                f"boundary ({length} samples) — commit() overran it"
+            )
+        self.advance(buffer, length)
+        psd = self._acc / self._count
+        # One-sided correction, exactly as the offline estimator.
+        psd[..., 1:-1] *= 2.0 if n_seg % 2 == 0 else 1.0
+        if n_seg % 2 == 1:
+            psd[..., 1:] *= 2.0
+        freqs = np.fft.rfftfreq(n_seg, d=1.0 / self.sample_rate)
+        return freqs, psd
+
+
+class StreamingTraceExtractor:
+    """Per-utterance incremental trace analysis.
+
+    One extractor lives for one utterance: the guard feeds it chunks
+    as they arrive, commits the monotone in-utterance lower bound the
+    segmenter can prove, and finalizes at close. The result is a
+    :class:`~repro.defense.traces.TraceAnalysis` bitwise identical to
+    ``analyze_traces(Signal(samples[:length], rate, unit))``.
+    """
+
+    def __init__(
+        self, sample_rate: float, unit: str = Unit.DIGITAL
+    ) -> None:
+        if sample_rate < 8000.0:
+            raise StreamError(
+                "trace extraction needs at least an 8 kHz stream, got "
+                f"{sample_rate} Hz"
+            )
+        self.sample_rate = float(sample_rate)
+        self.unit = unit
+        self._welch = WelchAccumulator(sample_rate)
+        self._buf = np.empty(0, dtype=np.float64)
+        self._n = 0
+        self._committed = 0
+        self._finalized = False
+
+    @property
+    def n_fed(self) -> int:
+        """Samples fed so far."""
+        return self._n
+
+    @property
+    def committed(self) -> int:
+        """Samples committed as certainly in-utterance."""
+        return self._committed
+
+    def feed(self, samples: np.ndarray) -> None:
+        """Append a chunk of candidate utterance samples."""
+        self._require_open()
+        chunk = np.asarray(samples, dtype=np.float64)
+        if chunk.ndim != 1:
+            raise StreamError(
+                f"feed expects a 1-D chunk, got shape {chunk.shape}"
+            )
+        needed = self._n + chunk.size
+        if needed > self._buf.shape[0]:
+            grown = np.empty(
+                max(needed, 2 * self._buf.shape[0], 4096),
+                dtype=np.float64,
+            )
+            grown[: self._n] = self._buf[: self._n]
+            self._buf = grown
+        self._buf[self._n : needed] = chunk
+        self._n = needed
+
+    def commit(self, n_samples: int) -> None:
+        """Promise that the first ``n_samples`` are in the utterance.
+
+        Monotone; accumulating runs immediately, so the Welch work is
+        spread across pushes instead of landing at close.
+        """
+        self._require_open()
+        if n_samples > self._n:
+            raise StreamError(
+                f"cannot commit {n_samples} of {self._n} fed samples"
+            )
+        if n_samples <= self._committed:
+            return
+        self._committed = n_samples
+        self._welch.advance(self._buf, n_samples)
+
+    def waveform(self, length: int | None = None) -> np.ndarray:
+        """Copy of the fed samples (prefix of ``length`` if given)."""
+        length = self._n if length is None else length
+        if not 0 <= length <= self._n:
+            raise StreamError(
+                f"waveform length {length} outside [0, {self._n}]"
+            )
+        return self._buf[:length].copy()
+
+    def finalize(self, length: int | None = None) -> TraceAnalysis:
+        """Close the utterance and assemble its trace analysis.
+
+        ``length`` trims trailing samples that turned out to lie past
+        the utterance's end (it must not cut below ``committed``).
+        The extractor is spent afterwards.
+        """
+        self._require_open()
+        length = self._n if length is None else length
+        if not 0 < length <= self._n:
+            raise StreamError(
+                f"finalize length {length} outside (0, {self._n}]"
+            )
+        if length < self._committed:
+            raise StreamError(
+                f"finalize length {length} below committed "
+                f"{self._committed}; commit() overran the close "
+                "boundary"
+            )
+        self._finalized = True
+        freqs, psd = self._welch.finalize(self._buf, length)
+        batch = SignalBatch(
+            self._buf[np.newaxis, :length], self.sample_rate, self.unit
+        )
+        return analyses_from_psd(batch, freqs, psd)[0]
+
+    def _require_open(self) -> None:
+        if self._finalized:
+            raise StreamError(
+                "this extractor was finalized; create a fresh one per "
+                "utterance"
+            )

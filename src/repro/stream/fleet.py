@@ -1,0 +1,464 @@
+"""Concurrent device-fleet simulation over the streaming guard.
+
+The ROADMAP's north star is a service in front of *millions* of
+devices; the per-request fast path must therefore be independent and
+conflict-free (the Harmonia lesson: near-linear scaling comes from
+state that multiplexes without coordination). The streaming guard has
+exactly that shape — all per-stream state lives in the stream's own
+ring buffer, segmenter and extractor; the recogniser and detector are
+immutable after enrollment/fit and shared read-only.
+
+:class:`FleetSimulator` exercises it: ``n_streams`` simulated devices,
+each an independent audio timeline (ambient lead-in, utterances,
+ambient gaps) pushed chunk-by-chunk through its own
+:class:`~repro.stream.guard.StreamingGuard`. The utterance recordings
+are synthesised through the *batched*
+:class:`~repro.sim.pipeline.TrialPipeline` — one transmission per
+class, every stream's per-utterance variation riding the stacked
+per-trial stages — with per-stream generators spawned from one
+:class:`numpy.random.SeedSequence`, so the whole fleet is a pure
+function of its config:
+
+* verdicts, boundaries and stream-time latencies are bitwise
+  identical for every ``workers`` value (threads change wall clock,
+  never results — the determinism test pins this);
+* wall-clock throughput is reported separately
+  (:attr:`FleetReport.wall_seconds`), which is what
+  ``benchmarks/bench_stream.py`` records in ``BENCH_stream.json``.
+
+Streams are processed by a thread pool. Threads, not processes, are
+the right model here: the heavy per-chunk DSP is NumPy/SciPy work
+that releases the GIL, and sharing the enrolled recogniser and fitted
+detector read-only costs nothing, where per-process copies would
+dominate start-up.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.attack.attacker import SingleSpeakerAttacker
+from repro.attack.baselines import AudiblePlaybackAttacker
+from repro.defense.dataset import GENUINE_REFERENCE_SPL
+from repro.defense.detector import InaudibleVoiceDetector
+from repro.dsp.signals import Signal
+from repro.errors import StreamError
+from repro.hardware.devices import horn_tweeter
+from repro.sim.pipeline import build_pipeline, level_stage
+from repro.sim.spec import RIG_POSITION, get_scenario
+from repro.speech.commands import synthesize_command
+from repro.speech.recognizer import KeywordRecognizer
+from repro.stream.guard import StreamingGuard, UtteranceOutcome
+from repro.stream.segmenter import SegmenterConfig
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Recipe for one fleet run (a pure function of this config).
+
+    Attributes
+    ----------
+    scenario:
+        Registered environment the devices record in.
+    n_streams:
+        Concurrent simulated devices.
+    utterances_per_stream:
+        Utterances on each device's timeline.
+    attack_fraction:
+        Probability that an utterance is an inaudible-command attack
+        (drawn deterministically from the master seed).
+    command:
+        Corpus command every utterance carries.
+    distance_m:
+        Source-to-device distance; ``None`` takes the scenario's
+        default.
+    chunk_s:
+        Push granularity — the simulated driver's buffer size.
+    lead_in_s, gap_s:
+        Ambient-only audio before the first utterance and after each
+        one. The lead-in seeds the segmenter's noise floor; the gap
+        must exceed its close horizon or utterances merge.
+    background_ratio:
+        Inter-utterance background RMS as a fraction of the stream's
+        mean utterance RMS. The default approximates the recordings'
+        own ambient/self-noise floor (roughly 20 dB below
+        conversational speech), which matters beyond realism: the
+        recogniser's cepstral mean normalisation is computed over the
+        segmented utterance, so background much *quieter* than the
+        in-recording floor skews the cepstral mean and degrades DTW
+        distances.
+    seed:
+        Master seed for the whole fleet.
+    workers:
+        Thread count for processing; results are identical for every
+        value.
+    """
+
+    scenario: str = "free_field"
+    n_streams: int = 8
+    utterances_per_stream: int = 1
+    attack_fraction: float = 0.5
+    command: str = "ok_google"
+    distance_m: float | None = None
+    chunk_s: float = 0.05
+    lead_in_s: float = 0.4
+    gap_s: float = 0.5
+    background_ratio: float = 0.1
+    seed: int = 0
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_streams < 1:
+            raise StreamError(
+                f"n_streams must be >= 1, got {self.n_streams}"
+            )
+        if self.utterances_per_stream < 1:
+            raise StreamError(
+                "utterances_per_stream must be >= 1, got "
+                f"{self.utterances_per_stream}"
+            )
+        if not 0.0 <= self.attack_fraction <= 1.0:
+            raise StreamError(
+                "attack_fraction must be in [0, 1], got "
+                f"{self.attack_fraction}"
+            )
+        if self.chunk_s <= 0:
+            raise StreamError(
+                f"chunk_s must be positive, got {self.chunk_s}"
+            )
+        if self.lead_in_s < 0 or self.gap_s < 0:
+            raise StreamError("lead_in_s and gap_s must be >= 0")
+        if not 0 < self.background_ratio < 1:
+            raise StreamError(
+                "background_ratio must be in (0, 1), got "
+                f"{self.background_ratio}"
+            )
+        if self.workers < 1:
+            raise StreamError(
+                f"workers must be >= 1, got {self.workers}"
+            )
+        get_scenario(self.scenario)  # fail at construction, not mid-run
+
+
+@dataclass(frozen=True)
+class UtteranceDigest:
+    """Deterministic summary of one gated utterance's outcome."""
+
+    start_sample: int
+    end_sample: int
+    emitted_at_sample: int
+    accepted: bool
+    command: str
+    vetoed: bool
+    executed_command: str | None
+    score: float | None
+    forced: bool
+
+    @classmethod
+    def of(cls, result: UtteranceOutcome) -> "UtteranceDigest":
+        outcome = result.outcome
+        return cls(
+            start_sample=result.start_sample,
+            end_sample=result.end_sample,
+            emitted_at_sample=result.emitted_at_sample,
+            accepted=outcome.recognition.accepted,
+            command=outcome.recognition.command,
+            vetoed=outcome.vetoed,
+            executed_command=outcome.executed_command,
+            score=(
+                None
+                if outcome.detection is None
+                else outcome.detection.score
+            ),
+            forced=result.forced,
+        )
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """One device's deterministic outcome digest."""
+
+    index: int
+    is_attack: tuple[bool, ...]
+    duration_s: float
+    utterances: tuple[UtteranceDigest, ...]
+
+
+@dataclass
+class FleetReport:
+    """What a fleet run produced and what it cost.
+
+    Everything except the wall-clock fields is deterministic given
+    the config; the determinism suite compares :meth:`digest` across
+    worker counts and the golden S1 table renders only deterministic
+    fields.
+    """
+
+    config: FleetConfig
+    sample_rate: float
+    streams: list[StreamResult] = field(repr=False)
+    prepare_seconds: float = 0.0
+    wall_seconds: float = 0.0
+
+    @property
+    def audio_seconds(self) -> float:
+        """Total stream audio processed, in stream seconds."""
+        return sum(s.duration_s for s in self.streams)
+
+    @property
+    def n_utterances(self) -> int:
+        return sum(len(s.utterances) for s in self.streams)
+
+    @property
+    def n_vetoed(self) -> int:
+        return sum(
+            u.vetoed for s in self.streams for u in s.utterances
+        )
+
+    @property
+    def n_executed(self) -> int:
+        return sum(
+            u.executed_command is not None
+            for s in self.streams
+            for u in s.utterances
+        )
+
+    @property
+    def n_rejected(self) -> int:
+        """Utterances the recogniser did not accept at all."""
+        return sum(
+            not u.accepted for s in self.streams for u in s.utterances
+        )
+
+    def latencies_s(self) -> list[float]:
+        """Per-utterance detection latency, in stream seconds."""
+        return [
+            (u.emitted_at_sample - u.end_sample) / self.sample_rate
+            for s in self.streams
+            for u in s.utterances
+        ]
+
+    @property
+    def realtime_factor(self) -> float:
+        """Stream-seconds processed per wall second — the number of
+        live 1x device streams this machine sustains."""
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return self.audio_seconds / self.wall_seconds
+
+    def digest(self) -> tuple:
+        """Deterministic fingerprint for cross-worker comparisons."""
+        return tuple(
+            (s.index, s.is_attack, s.duration_s, s.utterances)
+            for s in self.streams
+        )
+
+
+def synthesize_utterances(
+    scenario_name: str,
+    command: str,
+    distance_m: float | None,
+    rng_children: list[np.random.Generator],
+    attack_mask: np.ndarray,
+    voice_seed: int = 0,
+) -> tuple[list[Signal], KeywordRecognizer]:
+    """One device-rate recording per utterance slot, plus the device's
+    enrolled recogniser.
+
+    Slots are grouped by class (``attack_mask``) and executed through
+    the *batched* trial pipeline — synthesis is two pipeline passes
+    regardless of slot count, with per-slot generators keeping every
+    stream's draws independent. Shared by the fleet simulator and the
+    S1 experiment's parity probes.
+    """
+    spec = get_scenario(scenario_name)
+    scenario = spec.build(command, distance_m)
+    device = spec.build_device()
+    voice = synthesize_command(
+        command, np.random.default_rng(voice_seed)
+    )
+    recordings: list[Signal | None] = [None] * len(rng_children)
+    attack_slots = [
+        k for k in range(len(rng_children)) if attack_mask[k]
+    ]
+    genuine_slots = [
+        k for k in range(len(rng_children)) if not attack_mask[k]
+    ]
+    if attack_slots:
+        attacker = SingleSpeakerAttacker(horn_tweeter(), RIG_POSITION)
+        pipeline = build_pipeline(
+            scenario, device.microphone, recognize=False
+        )
+        ctx = pipeline.context(list(attacker.emit(voice).sources))
+        rows = pipeline.run_trials(
+            ctx, [rng_children[k] for k in attack_slots]
+        )
+        for k, row in zip(attack_slots, rows):
+            recordings[k] = row
+    if genuine_slots:
+        playback = AudiblePlaybackAttacker(
+            RIG_POSITION, speech_spl_at_1m=GENUINE_REFERENCE_SPL
+        )
+        pipeline = build_pipeline(
+            scenario,
+            device.microphone,
+            recognize=False,
+            gain_stage=level_stage(55.0, 68.0, GENUINE_REFERENCE_SPL),
+        )
+        ctx = pipeline.context(list(playback.emit(voice).sources))
+        rows = pipeline.run_trials(
+            ctx, [rng_children[k] for k in genuine_slots]
+        )
+        for k, row in zip(genuine_slots, rows):
+            recordings[k] = row
+    return recordings, device.recognizer
+
+
+class FleetSimulator:
+    """Run many concurrent device streams against one trained guard.
+
+    Parameters
+    ----------
+    detector:
+        A fitted :class:`~repro.defense.detector.InaudibleVoiceDetector`
+        shared read-only by every stream's guard.
+    config:
+        The fleet recipe.
+    segmenter_config:
+        Optional gate tuning shared by every stream.
+    """
+
+    def __init__(
+        self,
+        detector: InaudibleVoiceDetector,
+        config: FleetConfig,
+        segmenter_config: SegmenterConfig | None = None,
+    ) -> None:
+        self.detector = detector
+        self.config = config
+        self.segmenter_config = segmenter_config
+
+    # -- the run -------------------------------------------------------
+
+    def run(self) -> FleetReport:
+        """Synthesise, stream and decide the whole fleet."""
+        config = self.config
+        n_slots = config.n_streams * config.utterances_per_stream
+        root = np.random.SeedSequence(config.seed)
+        assign_seq, trials_seq, streams_seq = root.spawn(3)
+        attack_mask = (
+            np.random.default_rng(assign_seq).random(n_slots)
+            < config.attack_fraction
+        )
+        trial_rngs = [
+            np.random.default_rng(child)
+            for child in trials_seq.spawn(n_slots)
+        ]
+        stream_seqs = streams_seq.spawn(config.n_streams)
+
+        prepare_started = time.perf_counter()
+        recordings, recognizer = synthesize_utterances(
+            config.scenario,
+            config.command,
+            config.distance_m,
+            trial_rngs,
+            attack_mask,
+            voice_seed=config.seed,
+        )
+        prepare_seconds = time.perf_counter() - prepare_started
+
+        rate = recordings[0].sample_rate
+        for recording in recordings:
+            if recording.sample_rate != rate:
+                raise StreamError(
+                    "all fleet recordings must share one device rate"
+                )
+
+        def drive(index: int) -> StreamResult:
+            return self._drive_stream(
+                index,
+                rate,
+                recognizer,
+                recordings[
+                    index * config.utterances_per_stream : (index + 1)
+                    * config.utterances_per_stream
+                ],
+                attack_mask[
+                    index * config.utterances_per_stream : (index + 1)
+                    * config.utterances_per_stream
+                ],
+                stream_seqs[index],
+            )
+
+        started = time.perf_counter()
+        if config.workers == 1:
+            results = [drive(i) for i in range(config.n_streams)]
+        else:
+            with ThreadPoolExecutor(
+                max_workers=config.workers
+            ) as pool:
+                results = list(
+                    pool.map(drive, range(config.n_streams))
+                )
+        wall_seconds = time.perf_counter() - started
+        return FleetReport(
+            config=config,
+            sample_rate=rate,
+            streams=results,
+            prepare_seconds=prepare_seconds,
+            wall_seconds=wall_seconds,
+        )
+
+    def _drive_stream(
+        self,
+        index: int,
+        rate: float,
+        recognizer: KeywordRecognizer,
+        recordings: list[Signal],
+        attack_mask: np.ndarray,
+        seed_seq: np.random.SeedSequence,
+    ) -> StreamResult:
+        """One device's whole timeline through its own guard."""
+        config = self.config
+        rng = np.random.default_rng(seed_seq)
+        mean_rms = float(
+            np.mean([recording.rms() for recording in recordings])
+        )
+        background_rms = config.background_ratio * max(
+            mean_rms, 1e-12
+        )
+
+        def ambient(duration_s: float) -> np.ndarray:
+            n = int(round(duration_s * rate))
+            return rng.normal(0.0, 1.0, n) * background_rms
+
+        pieces = [ambient(config.lead_in_s)]
+        for recording in recordings:
+            pieces.append(recording.samples)
+            pieces.append(ambient(config.gap_s))
+        samples = np.concatenate(pieces)
+        guard = StreamingGuard(
+            recognizer,
+            self.detector,
+            rate,
+            unit=recordings[0].unit,
+            gated=True,
+            segmenter_config=self.segmenter_config,
+        )
+        chunk = max(1, int(round(config.chunk_s * rate)))
+        outcomes: list[UtteranceOutcome] = []
+        for start in range(0, samples.shape[0], chunk):
+            outcomes.extend(guard.push(samples[start : start + chunk]))
+        outcomes.extend(guard.flush())
+        return StreamResult(
+            index=index,
+            is_attack=tuple(bool(flag) for flag in attack_mask),
+            duration_s=samples.shape[0] / rate,
+            utterances=tuple(
+                UtteranceDigest.of(outcome) for outcome in outcomes
+            ),
+        )

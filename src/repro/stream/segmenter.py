@@ -1,0 +1,308 @@
+"""Online VAD-gated utterance segmentation.
+
+The offline pipeline trims silence with a *global* statistic (the
+95th-percentile frame energy of the whole recording, see
+:func:`repro.speech.vad.voice_activity`); a live stream has no whole
+recording. The online segmenter replaces the global reference with a
+causal one — an exponential moving average of inactive-frame energies
+(the noise floor) — and gates with hysteresis:
+
+* **open** when ``open_frames`` consecutive frames exceed
+  ``open_factor x floor``;
+* while open, a frame is *voiced* when it exceeds the lower
+  ``close_factor x floor`` (hysteresis keeps soft phoneme tails in,
+  the same concern the offline threshold rationale documents);
+* **close** once ``hangover_frames + close_frames`` frames pass with
+  no voiced frame — the hangover bridges intra-word dips exactly like
+  the offline VAD's, and the extra ``close_frames`` are the price of
+  causality (the close decision *is* the guard's detection latency).
+
+Utterance boundaries mirror :func:`~repro.speech.vad.trim_silence`:
+``start = first_open_frame * hop - padding`` and
+``end = last_voiced_frame * hop + frame_len + padding``.
+
+The segmenter is a pure frame-level state machine: it consumes frame
+energies (index + values) and emits :class:`UtteranceOpened` /
+:class:`UtteranceClosed` events. It never touches samples — the
+:class:`~repro.stream.guard.StreamingGuard` composes it with the ring
+buffer and the incremental extractor. :meth:`commit_bound` is the
+monotone in-utterance lower bound that drives the extractor's
+incremental Welch accumulation: every sample below
+``last_voiced * hop + frame_len + padding`` is inside the eventual
+utterance whatever happens next, because ``last_voiced`` only grows
+and the close formula is exactly that expression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.framing import frame_params
+from repro.errors import StreamError
+
+
+@dataclass(frozen=True)
+class SegmenterConfig:
+    """Tuning of the online gate.
+
+    Attributes
+    ----------
+    frame_length_s, hop_length_s:
+        Analysis frame grid (defaults match the offline VAD).
+    open_factor:
+        A frame is *active* (may open an utterance) above
+        ``open_factor x noise_floor``.
+    close_factor:
+        While open, a frame is *voiced* above
+        ``close_factor x noise_floor`` (must be below
+        ``open_factor`` — hysteresis).
+    open_frames:
+        Consecutive active frames required to open.
+    hangover_frames:
+        Unvoiced frames bridged inside an utterance (intra-word
+        dips), matching the offline VAD default.
+    close_frames:
+        Additional unvoiced frames, beyond the hangover, before the
+        close decision fires. ``(hangover_frames + close_frames) x
+        hop`` is the deterministic component of detection latency.
+    padding_s:
+        Context kept on both sides of the voiced span. The default is
+        *zero*, deliberately diverging from
+        :func:`~repro.speech.vad.trim_silence`'s 50 ms: the detector
+        is trained on pipeline recordings that carry no silence
+        context, and padded boundaries hand it an utterance on/off
+        step that makes the trace- and voice-band envelopes co-move —
+        inflating the envelope-correlation features of *genuine*
+        speech toward the attack class. Tight boundaries reproduce
+        the training distribution; the recogniser re-trims internally
+        (its own VAD), so recognition does not need the context
+        either.
+    floor_alpha:
+        EMA coefficient of the noise-floor tracker (updated on
+        inactive frames while no utterance is open).
+    floor_min:
+        Numeric floor of the tracker, so an all-zero lead-in cannot
+        drive the thresholds to zero.
+    max_utterance_s:
+        Force-close bound; a stuck-open gate (e.g. a TV left on near
+        the device) must not buffer unbounded audio.
+    """
+
+    frame_length_s: float = 0.02
+    hop_length_s: float = 0.01
+    open_factor: float = 4.0
+    close_factor: float = 2.0
+    open_frames: int = 2
+    hangover_frames: int = 8
+    close_frames: int = 15
+    padding_s: float = 0.0
+    floor_alpha: float = 0.05
+    floor_min: float = 1e-8
+    max_utterance_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.close_factor <= self.open_factor:
+            raise StreamError(
+                "need 0 < close_factor <= open_factor, got "
+                f"{self.close_factor} and {self.open_factor}"
+            )
+        if self.open_frames < 1:
+            raise StreamError(
+                f"open_frames must be >= 1, got {self.open_frames}"
+            )
+        if self.hangover_frames < 0 or self.close_frames < 1:
+            raise StreamError(
+                "need hangover_frames >= 0 and close_frames >= 1, got "
+                f"{self.hangover_frames} and {self.close_frames}"
+            )
+        if not 0 < self.floor_alpha <= 1:
+            raise StreamError(
+                f"floor_alpha must be in (0, 1], got {self.floor_alpha}"
+            )
+        if self.floor_min <= 0:
+            raise StreamError(
+                f"floor_min must be positive, got {self.floor_min}"
+            )
+        if self.padding_s < 0:
+            raise StreamError(
+                f"padding_s must be >= 0, got {self.padding_s}"
+            )
+        if self.max_utterance_s <= 0:
+            raise StreamError(
+                f"max_utterance_s must be positive, got "
+                f"{self.max_utterance_s}"
+            )
+
+
+@dataclass(frozen=True)
+class UtteranceOpened:
+    """An utterance began; retain samples from ``start_sample`` on."""
+
+    frame: int
+    start_sample: int
+
+
+@dataclass(frozen=True)
+class UtteranceClosed:
+    """An utterance ended.
+
+    ``end_sample`` is the uncapped boundary formula (the guard caps
+    it at the stream head); ``frame`` is the frame whose processing
+    fired the decision; ``forced`` marks a ``max_utterance_s`` cut.
+    """
+
+    frame: int
+    start_sample: int
+    end_sample: int
+    forced: bool
+
+
+class OnlineSegmenter:
+    """Causal utterance gate over a stream's frame energies."""
+
+    def __init__(
+        self,
+        sample_rate: float,
+        config: SegmenterConfig | None = None,
+    ) -> None:
+        self.config = config or SegmenterConfig()
+        self.sample_rate = float(sample_rate)
+        self.frame_len, self.hop = frame_params(
+            sample_rate,
+            self.config.frame_length_s,
+            self.config.hop_length_s,
+        )
+        self.pad = int(round(self.config.padding_s * sample_rate))
+        self.max_samples = int(
+            round(self.config.max_utterance_s * sample_rate)
+        )
+        self._floor: float | None = None
+        self._frames_seen = 0
+        self._consecutive_active = 0
+        self._open = False
+        self._start = 0
+        self._last_voiced = 0
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def in_utterance(self) -> bool:
+        """Whether an utterance is currently open."""
+        return self._open
+
+    @property
+    def utterance_start(self) -> int:
+        """Absolute start sample of the open utterance."""
+        if not self._open:
+            raise StreamError("no utterance is open")
+        return self._start
+
+    @property
+    def noise_floor(self) -> float:
+        """Current noise-floor estimate (after at least one frame)."""
+        if self._floor is None:
+            raise StreamError("no frames processed yet")
+        return self._floor
+
+    def commit_bound(self, head: int) -> int:
+        """Samples certainly inside the open utterance, capped at
+        ``head`` (what has actually been pushed)."""
+        if not self._open:
+            raise StreamError("no utterance is open")
+        bound = self._last_voiced * self.hop + self.frame_len + self.pad
+        bound = min(bound, self._start + self.max_samples, head)
+        return max(bound, self._start)
+
+    def lookback_sample(self) -> int:
+        """Earliest sample a *future* utterance could start at.
+
+        While closed, any utterance opening at a later frame ``f``
+        starts no earlier than
+        ``(f - open_frames + 1) * hop - pad``; the guard uses this to
+        release ring-buffer history it can never need again.
+        """
+        earliest_open = self._frames_seen - self.config.open_frames + 1
+        return max(0, earliest_open * self.hop - self.pad)
+
+    # -- the state machine --------------------------------------------
+
+    def process(
+        self, first_frame: int, energies: np.ndarray
+    ) -> list[UtteranceOpened | UtteranceClosed]:
+        """Advance over newly-completed frames, emitting events.
+
+        ``first_frame`` must equal the number of frames already
+        processed — the chunker's contract — so the segmenter sees
+        every frame exactly once, in order, whatever the push sizes.
+        """
+        if first_frame != self._frames_seen:
+            raise StreamError(
+                f"expected frame {self._frames_seen}, got "
+                f"{first_frame}; frames must arrive exactly once, in "
+                "order"
+            )
+        cfg = self.config
+        events: list[UtteranceOpened | UtteranceClosed] = []
+        for energy in np.asarray(energies, dtype=np.float64):
+            f = self._frames_seen
+            energy = float(energy)
+            if self._floor is None:
+                self._floor = max(energy, cfg.floor_min)
+            if not self._open:
+                if energy > cfg.open_factor * self._floor:
+                    self._consecutive_active += 1
+                else:
+                    self._consecutive_active = 0
+                    self._floor = max(
+                        (1.0 - cfg.floor_alpha) * self._floor
+                        + cfg.floor_alpha * energy,
+                        cfg.floor_min,
+                    )
+                if self._consecutive_active >= cfg.open_frames:
+                    open_first = f - cfg.open_frames + 1
+                    self._open = True
+                    self._start = max(0, open_first * self.hop - self.pad)
+                    self._last_voiced = f
+                    self._consecutive_active = 0
+                    events.append(UtteranceOpened(f, self._start))
+            else:
+                if energy > cfg.close_factor * self._floor:
+                    self._last_voiced = f
+                quiet_for = f - self._last_voiced
+                frame_end = f * self.hop + self.frame_len
+                if frame_end - self._start >= self.max_samples:
+                    events.append(self._close(f, forced=True))
+                elif quiet_for >= cfg.hangover_frames + cfg.close_frames:
+                    events.append(self._close(f, forced=False))
+            self._frames_seen += 1
+        return events
+
+    def _close(self, frame: int, forced: bool) -> UtteranceClosed:
+        if forced:
+            end = self._start + self.max_samples
+        else:
+            end = (
+                self._last_voiced * self.hop + self.frame_len + self.pad
+            )
+        start = self._start
+        self._open = False
+        self._consecutive_active = 0
+        return UtteranceClosed(frame, start, end, forced)
+
+    def flush(self, head: int) -> UtteranceClosed | None:
+        """End of stream: close any open utterance at its natural
+        boundary, capped at ``head`` (the samples actually pushed —
+        mid-stream closes leave the cap to the guard, but at flush
+        the boundary formula may reach past the stream's end).
+        """
+        if not self._open:
+            return None
+        event = self._close(self._frames_seen, forced=False)
+        return UtteranceClosed(
+            frame=event.frame,
+            start_sample=event.start_sample,
+            end_sample=min(event.end_sample, head),
+            forced=event.forced,
+        )

@@ -85,6 +85,32 @@ def signal_batches(
     return SignalBatch(random_batch(seed, rows, samples, amplitude), rate)
 
 
+# -- streaming ---------------------------------------------------------
+@st.composite
+def chunk_partitions(draw, n_samples: int, max_parts: int = 8):
+    """A partition of ``n_samples`` into positive chunk lengths.
+
+    Drives the streaming parity properties: any way of cutting one
+    recording into pushes must reconstruct it exactly, so the
+    streaming guard's verdict must match the offline one bitwise.
+    Includes degenerate cuts (everything in one push, many tiny
+    pushes) through the size bounds.
+    """
+    if n_samples < 1:
+        raise ValueError("chunk_partitions needs n_samples >= 1")
+    sizes = []
+    remaining = n_samples
+    parts = draw(st.integers(min_value=1, max_value=max_parts))
+    for _ in range(parts - 1):
+        if remaining <= 1:
+            break
+        cut = draw(st.integers(min_value=1, max_value=remaining - 1))
+        sizes.append(cut)
+        remaining -= cut
+    sizes.append(remaining)
+    return sizes
+
+
 # -- geometry ----------------------------------------------------------
 #: Coordinates kept within a plausible scene so distances and
 #: propagation losses stay well-conditioned.

@@ -1,0 +1,43 @@
+"""Shared fixtures for the streaming suite.
+
+The expensive artefacts — a trained detector and a pair of
+pipeline-synthesised probe recordings (one attack, one genuine) —
+are deterministic given their seeds and session-scoped, so the parity
+properties rerun the cheap part (streaming) against fixed references.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.s1_streaming import train_detector
+from repro.stream.fleet import synthesize_utterances
+
+
+@pytest.fixture(scope="session")
+def stream_detector():
+    """A small fitted detector shared by every streaming test."""
+    return train_detector("free_field", seed=0, n_trials=2)
+
+
+@pytest.fixture(scope="session")
+def stream_probes():
+    """(recordings, recognizer): one attack and one genuine probe.
+
+    ``recordings[0]`` is the attack, ``recordings[1]`` the genuine
+    playback, both device-rate digital recordings synthesised through
+    the batched trial pipeline in the free field.
+    """
+    rngs = [
+        np.random.default_rng(child)
+        for child in np.random.SeedSequence(1).spawn(2)
+    ]
+    return synthesize_utterances(
+        "free_field",
+        "ok_google",
+        None,
+        rngs,
+        np.array([True, False]),
+        voice_seed=0,
+    )

@@ -1,0 +1,179 @@
+"""Incremental Welch/trace extraction: bitwise equality with offline.
+
+The streaming guard's parity rests on two layers pinned here:
+
+* :class:`WelchAccumulator` reproduces
+  :func:`~repro.dsp.spectrum.welch_psd_matrix` bitwise for any chunk
+  arrival pattern and any commit schedule, on both sides of the
+  one-segment boundary (incremental accumulation vs the padded-FFT
+  fallback);
+* :class:`StreamingTraceExtractor` reproduces
+  :func:`~repro.defense.traces.analyze_traces` bitwise, including
+  when the utterance end retroactively trims fed samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from strategies import chunk_partitions
+from repro.defense.traces import analyze_traces
+from repro.dsp.signals import Signal
+from repro.dsp.spectrum import welch_psd_matrix
+from repro.errors import StreamError
+from repro.stream.features import (
+    StreamingTraceExtractor,
+    WelchAccumulator,
+)
+
+
+def _wave(n: int, seed: int) -> np.ndarray:
+    return np.random.default_rng(seed).normal(size=n)
+
+
+class TestWelchAccumulator:
+    @given(
+        n=st.integers(min_value=300, max_value=2000),
+        seed=st.integers(min_value=0, max_value=2**31),
+        parts=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bitwise_any_commit_schedule(self, n, seed, parts):
+        rate = 8000.0
+        wave = _wave(n, seed)
+        reference = welch_psd_matrix(
+            wave[np.newaxis, :],
+            rate,
+            segment_length=min(256, n),
+            window="blackman",
+        )
+        acc = WelchAccumulator(rate, segment_length=256)
+        # Commit in `parts` arbitrary monotone steps, then finalize.
+        bounds = sorted(
+            np.random.default_rng(seed + 1).integers(0, n + 1, parts)
+        )
+        for bound in bounds:
+            acc.advance(wave, int(bound))
+        freqs, psd = acc.finalize(wave, n)
+        assert np.array_equal(freqs, reference[0])
+        assert np.array_equal(psd, reference[1])
+
+    def test_short_signal_fallback_matches(self):
+        rate = 8000.0
+        wave = _wave(200, 3)
+        acc = WelchAccumulator(rate, segment_length=256)
+        acc.advance(wave, 200)  # no whole segment: accumulates nothing
+        assert acc.segments_accumulated == 0
+        freqs, psd = acc.finalize(wave, 200)
+        ref_freqs, ref_psd = welch_psd_matrix(
+            wave[np.newaxis, :],
+            rate,
+            segment_length=200,
+            window="blackman",
+        )
+        assert np.array_equal(freqs, ref_freqs)
+        assert np.array_equal(psd, ref_psd)
+
+    def test_exact_one_segment_boundary(self):
+        rate = 8000.0
+        wave = _wave(256, 4)
+        acc = WelchAccumulator(rate, segment_length=256)
+        freqs, psd = acc.finalize(wave, 256)
+        ref = welch_psd_matrix(
+            wave[np.newaxis, :], rate, segment_length=256,
+            window="blackman",
+        )
+        assert np.array_equal(psd, ref[1])
+
+    def test_commit_beyond_buffer_raises(self):
+        acc = WelchAccumulator(8000.0, segment_length=256)
+        with pytest.raises(StreamError):
+            acc.advance(np.zeros(100), 200)
+
+    def test_overrun_caught_on_the_incremental_path_too(self):
+        """Committing past the eventual close is an error on both
+        sides of the one-segment boundary, never a silent divergence."""
+        wave = _wave(2000, 5)
+        acc = WelchAccumulator(8000.0, segment_length=256)
+        acc.advance(wave, 2000)
+        with pytest.raises(StreamError):
+            acc.finalize(wave, 600)  # accumulated segments cross 600
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(StreamError):
+            WelchAccumulator(8000.0, segment_length=1)
+        with pytest.raises(StreamError):
+            WelchAccumulator(8000.0, overlap=1.0)
+        acc = WelchAccumulator(8000.0, segment_length=256)
+        with pytest.raises(StreamError):
+            acc.finalize(np.zeros(10), 0)
+
+
+class TestStreamingTraceExtractor:
+    @given(
+        n=st.integers(min_value=4000, max_value=20000),
+        seed=st.integers(min_value=0, max_value=2**31),
+        data=st.data(),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_bitwise_any_partition(self, n, seed, data):
+        """Any chunking, eager commits: analysis equals offline."""
+        rate = 16000.0
+        wave = _wave(n, seed)
+        partition = data.draw(chunk_partitions(n, max_parts=6))
+        extractor = StreamingTraceExtractor(rate)
+        cursor = 0
+        for size in partition:
+            extractor.feed(wave[cursor : cursor + size])
+            cursor += size
+            extractor.commit(cursor)
+        online = extractor.finalize()
+        offline = analyze_traces(Signal(wave, rate))
+        assert online == offline
+
+    def test_retroactive_trim_matches_offline(self):
+        """Samples fed past the close boundary are trimmed bitwise."""
+        rate = 16000.0
+        wave = _wave(18000, 11)
+        length = 12500
+        extractor = StreamingTraceExtractor(rate)
+        extractor.feed(wave[:9000])
+        extractor.commit(9000)
+        extractor.feed(wave[9000:])  # runs past the eventual end
+        extractor.commit(length)
+        online = extractor.finalize(length)
+        offline = analyze_traces(Signal(wave[:length], rate))
+        assert online == offline
+
+    def test_commit_overrun_is_caught(self):
+        extractor = StreamingTraceExtractor(16000.0)
+        extractor.feed(_wave(18000, 12))
+        extractor.commit(18000)
+        with pytest.raises(StreamError):
+            extractor.finalize(9000)  # below committed
+
+    def test_extractor_is_single_use(self):
+        extractor = StreamingTraceExtractor(16000.0)
+        extractor.feed(_wave(4000, 13))
+        extractor.finalize()
+        with pytest.raises(StreamError):
+            extractor.feed(np.zeros(10))
+
+    def test_low_rate_rejected(self):
+        with pytest.raises(StreamError):
+            StreamingTraceExtractor(4000.0)
+
+    def test_feed_and_waveform_validation(self):
+        extractor = StreamingTraceExtractor(16000.0)
+        with pytest.raises(StreamError):
+            extractor.feed(np.zeros((2, 2)))
+        extractor.feed(_wave(100, 14))
+        with pytest.raises(StreamError):
+            extractor.commit(200)
+        with pytest.raises(StreamError):
+            extractor.waveform(101)
+        with pytest.raises(StreamError):
+            extractor.finalize(0)

@@ -1,0 +1,324 @@
+"""Streaming guard parity and segmenter behaviour.
+
+The headline property: for *any* chunk-size partition of a recording,
+the gateless streaming guard's verdict, score, features and
+recognition result are **bitwise identical** to the offline
+:class:`~repro.defense.guard.GuardedVoiceAssistant` on the same
+recording — for the attack and the genuine probe alike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from strategies import chunk_partitions
+from repro.defense.guard import GuardedVoiceAssistant
+from repro.errors import StreamError
+from repro.sim.spec import scenario_names
+from repro.stream.guard import StreamingGuard
+from repro.stream.segmenter import (
+    OnlineSegmenter,
+    SegmenterConfig,
+    UtteranceClosed,
+    UtteranceOpened,
+)
+
+
+def _assert_outcomes_bitwise(online, offline):
+    assert online.executed_command == offline.executed_command
+    assert online.vetoed == offline.vetoed
+    assert online.recognition.accepted == offline.recognition.accepted
+    assert online.recognition.command == offline.recognition.command
+    assert online.recognition.distance == offline.recognition.distance
+    assert online.recognition.distances == offline.recognition.distances
+    assert (online.detection is None) == (offline.detection is None)
+    if online.detection is not None:
+        assert online.detection.score == offline.detection.score
+        assert online.detection.is_attack == offline.detection.is_attack
+        assert np.array_equal(
+            online.detection.features, offline.detection.features
+        )
+
+
+class TestChunkedParity:
+    @pytest.mark.parametrize("probe_index", [0, 1], ids=["attack", "genuine"])
+    @given(data=st.data())
+    @settings(max_examples=8, deadline=None)
+    def test_any_partition_bitwise_identical(
+        self, probe_index, stream_detector, stream_probes, data
+    ):
+        recordings, recognizer = stream_probes
+        recording = recordings[probe_index]
+        offline = GuardedVoiceAssistant(
+            recognizer, stream_detector
+        ).process(recording)
+        partition = data.draw(
+            chunk_partitions(recording.n_samples, max_parts=6)
+        )
+        guard = StreamingGuard(
+            recognizer,
+            stream_detector,
+            recording.sample_rate,
+            unit=recording.unit,
+            gated=False,
+        )
+        cursor = 0
+        samples = recording.samples
+        for size in partition:
+            assert guard.push(samples[cursor : cursor + size]) == []
+            cursor += size
+        online = guard.end_utterance()
+        _assert_outcomes_bitwise(online, offline)
+
+    def test_fixed_chunk_convenience_matches(
+        self, stream_detector, stream_probes
+    ):
+        recordings, recognizer = stream_probes
+        for recording in recordings:
+            offline = GuardedVoiceAssistant(
+                recognizer, stream_detector
+            ).process(recording)
+            for chunk in (1024, recording.n_samples):
+                guard = StreamingGuard(
+                    recognizer,
+                    stream_detector,
+                    recording.sample_rate,
+                    unit=recording.unit,
+                    gated=False,
+                )
+                online = guard.process_recording(recording, chunk)
+                _assert_outcomes_bitwise(online, offline)
+
+
+class TestEveryScenario:
+    @pytest.mark.parametrize("scenario", scenario_names())
+    def test_parity_holds_in_every_registered_environment(
+        self, scenario
+    ):
+        """The bitwise guarantee is environment-independent: rooms,
+        interference, motion and weather all stream identically."""
+        from repro.experiments.s1_streaming import train_detector
+        from repro.stream.fleet import synthesize_utterances
+
+        detector = train_detector(scenario, seed=0, n_trials=2)
+        rngs = [
+            np.random.default_rng(child)
+            for child in np.random.SeedSequence(2).spawn(2)
+        ]
+        recordings, recognizer = synthesize_utterances(
+            scenario,
+            "ok_google",
+            None,
+            rngs,
+            np.array([True, False]),
+            voice_seed=0,
+        )
+        for recording in recordings:
+            offline = GuardedVoiceAssistant(
+                recognizer, detector
+            ).process(recording)
+            for chunk in (977, recording.n_samples):
+                guard = StreamingGuard(
+                    recognizer,
+                    detector,
+                    recording.sample_rate,
+                    unit=recording.unit,
+                    gated=False,
+                )
+                online = guard.process_recording(recording, chunk)
+                _assert_outcomes_bitwise(online, offline)
+
+
+class TestGuardModes:
+    def test_gated_guard_rejects_gateless_calls(
+        self, stream_detector, stream_probes
+    ):
+        _, recognizer = stream_probes
+        guard = StreamingGuard(
+            recognizer, stream_detector, 16000.0, gated=True
+        )
+        with pytest.raises(StreamError):
+            guard.end_utterance()
+        guard_free = StreamingGuard(
+            recognizer, stream_detector, 16000.0, gated=False
+        )
+        with pytest.raises(StreamError):
+            guard_free.flush()
+
+    def test_gateless_without_samples_raises(
+        self, stream_detector, stream_probes
+    ):
+        _, recognizer = stream_probes
+        guard = StreamingGuard(
+            recognizer, stream_detector, 16000.0, gated=False
+        )
+        with pytest.raises(StreamError):
+            guard.end_utterance()
+
+    def test_rate_mismatch_rejected(
+        self, stream_detector, stream_probes
+    ):
+        recordings, recognizer = stream_probes
+        guard = StreamingGuard(
+            recognizer, stream_detector, 16000.0, gated=False
+        )
+        with pytest.raises(StreamError):
+            guard.process_recording(recordings[0], 1024)
+        with pytest.raises(StreamError):
+            guard.process_recording(
+                recordings[0].replace(sample_rate=16000.0), 0
+            )
+
+    def test_construction_validation(
+        self, stream_detector, stream_probes
+    ):
+        _, recognizer = stream_probes
+        from repro.stream.segmenter import SegmenterConfig
+
+        with pytest.raises(StreamError):
+            StreamingGuard(
+                recognizer, stream_detector, 4000.0, gated=False
+            )
+        with pytest.raises(StreamError):
+            StreamingGuard(
+                recognizer,
+                stream_detector,
+                16000.0,
+                gated=False,
+                segmenter_config=SegmenterConfig(),
+            )
+
+    def test_gated_segments_and_decides_an_embedded_utterance(
+        self, stream_detector, stream_probes
+    ):
+        """A lead-in/gap-wrapped recording yields exactly one verdict
+        whose boundaries cover the embedded speech."""
+        recordings, recognizer = stream_probes
+        recording = recordings[1]  # genuine
+        rate = recording.sample_rate
+        rng = np.random.default_rng(5)
+        background = 0.1 * recording.rms()
+        lead = rng.normal(size=int(0.4 * rate)) * background
+        gap = rng.normal(size=int(0.6 * rate)) * background
+        samples = np.concatenate([lead, recording.samples, gap])
+        guard = StreamingGuard(
+            recognizer,
+            stream_detector,
+            rate,
+            unit=recording.unit,
+            gated=True,
+        )
+        outcomes = []
+        chunk = int(0.05 * rate)
+        for start in range(0, samples.shape[0], chunk):
+            outcomes.extend(guard.push(samples[start : start + chunk]))
+        outcomes.extend(guard.flush())
+        assert len(outcomes) == 1
+        utterance = outcomes[0]
+        speech_start = len(lead)
+        speech_end = len(lead) + recording.n_samples
+        # Boundaries within a frame-grid tolerance of the true span.
+        tolerance = int(0.1 * rate)
+        assert abs(utterance.start_sample - speech_start) <= tolerance
+        assert abs(utterance.end_sample - speech_end) <= tolerance
+        assert not utterance.forced
+        assert utterance.latency_s(rate) > 0
+        assert utterance.outcome.executed_command == "ok_google"
+
+
+class TestSegmenterStateMachine:
+    CFG = SegmenterConfig(
+        open_factor=4.0,
+        close_factor=2.0,
+        open_frames=2,
+        hangover_frames=3,
+        close_frames=4,
+    )
+
+    def _run(self, energies):
+        seg = OnlineSegmenter(16000.0, self.CFG)
+        return seg, seg.process(0, np.asarray(energies))
+
+    def test_opens_after_consecutive_active_frames(self):
+        quiet, loud = 1.0, 10.0
+        seg, events = self._run([quiet] * 10 + [loud] * 3)
+        opened = [e for e in events if isinstance(e, UtteranceOpened)]
+        assert len(opened) == 1
+        # Second consecutive loud frame (index 11) opens; the run
+        # began at frame 10.
+        assert opened[0].frame == 11
+        assert opened[0].start_sample == 10 * seg.hop
+
+    def test_single_spike_does_not_open(self):
+        quiet, loud = 1.0, 10.0
+        _, events = self._run([quiet] * 10 + [loud] + [quiet] * 10)
+        assert events == []
+
+    def test_closes_after_hangover_plus_close_frames(self):
+        quiet, loud = 1.0, 10.0
+        seg, events = self._run(
+            [quiet] * 10 + [loud] * 5 + [quiet] * 12
+        )
+        closed = [e for e in events if isinstance(e, UtteranceClosed)]
+        assert len(closed) == 1
+        last_voiced = 14  # frames 10..14 are loud
+        assert closed[0].frame == last_voiced + 3 + 4
+        assert (
+            closed[0].end_sample
+            == last_voiced * seg.hop + seg.frame_len + seg.pad
+        )
+        assert not closed[0].forced
+
+    def test_hysteresis_keeps_soft_tail_voiced(self):
+        quiet, loud, soft = 1.0, 10.0, 3.0  # soft > close_factor*floor
+        seg, events = self._run(
+            [quiet] * 10 + [loud] * 3 + [soft] * 5 + [quiet] * 12
+        )
+        closed = [e for e in events if isinstance(e, UtteranceClosed)]
+        assert len(closed) == 1
+        assert closed[0].end_sample == 17 * seg.hop + seg.frame_len + seg.pad
+
+    def test_forced_close_at_max_utterance(self):
+        config = SegmenterConfig(
+            open_frames=2,
+            hangover_frames=3,
+            close_frames=4,
+            max_utterance_s=0.5,
+        )
+        seg = OnlineSegmenter(16000.0, config)
+        events = seg.process(
+            0, np.asarray([1.0] * 10 + [10.0] * 100)
+        )
+        closed = [e for e in events if isinstance(e, UtteranceClosed)]
+        assert closed and closed[0].forced
+        assert (
+            closed[0].end_sample - closed[0].start_sample
+            == seg.max_samples
+        )
+
+    def test_out_of_order_frames_rejected(self):
+        seg = OnlineSegmenter(16000.0, self.CFG)
+        seg.process(0, np.ones(5))
+        with pytest.raises(StreamError):
+            seg.process(3, np.ones(5))
+
+    def test_commit_bound_monotone_and_capped(self):
+        quiet, loud = 1.0, 10.0
+        seg = OnlineSegmenter(16000.0, self.CFG)
+        seg.process(0, np.asarray([quiet] * 10 + [loud] * 3))
+        assert seg.in_utterance
+        head = 13 * seg.hop + seg.frame_len
+        bound = seg.commit_bound(head)
+        assert seg.utterance_start <= bound <= head
+        assert seg.commit_bound(head + 100) >= bound
+
+    def test_flush_closes_open_utterance(self):
+        quiet, loud = 1.0, 10.0
+        seg = OnlineSegmenter(16000.0, self.CFG)
+        seg.process(0, np.asarray([quiet] * 10 + [loud] * 5))
+        event = seg.flush(head=15 * seg.hop + seg.frame_len)
+        assert isinstance(event, UtteranceClosed)
+        assert seg.flush(head=0) is None

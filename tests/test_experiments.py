@@ -23,7 +23,7 @@ class TestHarness:
     def test_registry_complete(self):
         expected = {
             "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9",
-            "T1", "T2", "T3", "A1", "A2", "A3",
+            "S1", "T1", "T2", "T3", "A1", "A2", "A3",
         }
         assert set(ALL_EXPERIMENTS) == expected
 
@@ -163,6 +163,31 @@ class TestA3:
         auc = {row[0]: row[1] for row in table.rows}
         assert auc["power only"] >= auc["correlation only"]
         assert auc["all features"] >= 0.9
+
+
+class TestS1:
+    def test_every_parity_probe_is_bitwise(self, tables):
+        table = tables["S1"]
+        parity_rows = [
+            row for row in table.rows if row[0] in ("attack", "genuine")
+        ]
+        assert len(parity_rows) >= 6
+        assert all(row[4] == "yes" for row in parity_rows)
+
+    def test_parity_verdicts_separate_classes(self, tables):
+        table = tables["S1"]
+        for row in table.rows:
+            if row[0] == "attack":
+                assert row[2] == "veto"
+
+    def test_fleet_latency_is_bounded(self, tables):
+        table = tables["S1"]
+        fleet_rows = [
+            row for row in table.rows if str(row[0]).startswith("fleet")
+        ]
+        assert fleet_rows
+        # Stream-time detection latency: positive, under a second.
+        assert all(0.0 < row[5] < 1000.0 for row in fleet_rows)
 
 
 class TestCli:

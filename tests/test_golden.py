@@ -7,12 +7,14 @@ success rate, a detector verdict, a measured range or even a column
 header fails loudly here — which is exactly what makes refactors such
 as the vectorized batch kernel safe to land.
 
-Beyond the 15 free-field tables, the scenario dimension is pinned for
+Beyond the 16 free-field tables, the scenario dimension is pinned for
 the range/accuracy flagships *and* the defense: ``<EXP>@<scenario>.txt``
 freezes T2 and F4 inside a reverberant living room and against a
-walking attacker, T3 inside the living room and F8 under TV
-interference — so neither an environment-model change nor a
-defense-dataset change can drift silently.
+walking attacker, T3 inside the living room, F8 under TV
+interference and the streaming guard (S1 — chunked-vs-offline parity
+plus fleet dispositions and stream-time latency) inside the living
+room — so neither an environment-model change, a defense-dataset
+change nor an online-path change can drift silently.
 
 To re-bless after an intentional change::
 
@@ -38,6 +40,7 @@ SCENARIO_CASES = [
     ("F4", "walking_attacker"),
     ("T3", "living_room"),
     ("F8", "tv_interference"),
+    ("S1", "living_room"),
 ]
 
 
