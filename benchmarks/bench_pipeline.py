@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.defense.dataset import DatasetConfig, build_dataset
 from repro.experiments._emissions import array_split
+from repro.sim.bench import machine_metadata
 from repro.sim.engine import EmissionSpec, ExperimentEngine, TrialGroup
 from repro.sim.results import ResultTable
 from repro.sim.spec import get_scenario
@@ -131,6 +132,7 @@ def main(argv: list[str] | None = None) -> int:
         "benchmark": "trial-pipeline scalar vs batched",
         "quick": args.quick,
         "seed": args.seed,
+        "machine": machine_metadata(),
         "results": results,
     }
     with open(args.output, "w") as handle:

@@ -14,14 +14,26 @@ run-over-run trajectory:
   ``sustained_streams``: stream-seconds of audio processed per wall
   second, i.e. how many live 1x device streams this machine holds.
   The gate requires >= 100.
+* **Sharded fleet** — the same duty cycle scaled to every core
+  through :class:`~repro.stream.shard.ShardedFleetSimulator`: one
+  process shard per core, 120 streams per shard. Gates: the sharded
+  digest is bitwise identical to the unsharded simulator, and the
+  fleet sustains >= 100 streams *per core* (near-linear scaling);
+  ``streams_per_core_per_second`` is the recorded trajectory figure.
+
+Every record embeds :func:`repro.sim.bench.machine_metadata` (cpu
+count, python, git sha), so trajectory points are comparable across
+runners.
 
 Usage::
 
     python benchmarks/bench_stream.py --quick    # CI smoke (same gates)
     python benchmarks/bench_stream.py            # paper numbers
+    python benchmarks/bench_stream.py --shards 4
     python benchmarks/bench_stream.py --output /tmp/bench.json
 
-Exits non-zero if parity fails or the sustained-stream gate misses.
+Exits non-zero if parity fails, a digest diverges, or a
+sustained-stream gate misses.
 """
 
 from __future__ import annotations
@@ -37,11 +49,21 @@ from repro.experiments.s1_streaming import (
     chunked_parity_probes,
     train_detector,
 )
+from repro.sim.bench import machine_metadata
 from repro.sim.results import ResultTable
 from repro.stream.fleet import FleetConfig, FleetSimulator
+from repro.stream.shard import ShardedFleetSimulator
 
 #: The acceptance gate: live 1x device streams the machine must hold.
 SUSTAINED_STREAMS_GATE = 100
+
+#: The sharded gate: live 1x streams each core must hold — sustaining
+#: this at every core count is the near-linear-scaling claim.
+SUSTAINED_PER_CORE_GATE = 100
+
+#: Streams per shard in the sharded workload (the PR 5 single-core
+#: fleet size, so per-shard load stays constant as shards scale).
+STREAMS_PER_SHARD = 120
 
 
 def bench_parity(seed: int, scenario: str) -> dict:
@@ -70,7 +92,7 @@ def bench_fleet(quick: bool, seed: int, scenario: str) -> dict:
     detector = train_detector(scenario, seed, n_trials=2)
     config = FleetConfig(
         scenario=scenario,
-        n_streams=120,
+        n_streams=STREAMS_PER_SHARD,
         utterances_per_stream=1,
         attack_fraction=0.5,
         # Mostly-idle duty cycle: one command inside seconds of
@@ -114,6 +136,83 @@ def bench_fleet(quick: bool, seed: int, scenario: str) -> dict:
     }
 
 
+def bench_sharded_fleet(
+    quick: bool,
+    seed: int,
+    scenario: str,
+    shards: int,
+    single_sustained: int,
+) -> dict:
+    """Per-core scaling of the process-sharded fleet.
+
+    Two claims, two measurements:
+
+    * **Digest parity** — a small fleet run through both the
+      unsharded :class:`FleetSimulator` and the sharded driver at the
+      benched shard count must produce bitwise-identical digests
+      (cheap: 8 streams), so the throughput number below can never be
+      quoted from a diverged implementation.
+    * **Throughput** — ``STREAMS_PER_SHARD`` streams *per shard* (the
+      PR 5 single-core fleet per core), gated at
+      ``SUSTAINED_PER_CORE_GATE`` sustained streams per core.
+      ``scaling_efficiency`` compares per-core sustained streams
+      against the single-process fleet's figure (1.0 = perfectly
+      linear).
+    """
+    detector = train_detector(scenario, seed, n_trials=2)
+    cores = min(shards, os.cpu_count() or 1)
+
+    parity_config = FleetConfig(
+        scenario=scenario,
+        n_streams=8,
+        attack_fraction=0.5,
+        seed=seed + 4,
+        workers=2,
+        shards=shards,
+    )
+    reference = FleetSimulator(detector, parity_config).run()
+    sharded = ShardedFleetSimulator(detector, parity_config).run()
+    digest_identical = reference.digest() == sharded.digest()
+
+    config = FleetConfig(
+        scenario=scenario,
+        n_streams=STREAMS_PER_SHARD * shards,
+        utterances_per_stream=1,
+        attack_fraction=0.5,
+        lead_in_s=0.5,
+        gap_s=6.0 if quick else 10.0,
+        chunk_s=0.05,
+        seed=seed + 3,
+        workers=max(1, (os.cpu_count() or 2) // shards),
+        shards=shards,
+    )
+    report = ShardedFleetSimulator(detector, config).run()
+    sustained = int(report.realtime_factor)
+    per_core = report.realtime_factor / cores
+    return {
+        "workload": (
+            f"sharded fleet: {config.n_streams} streams over "
+            f"{shards} shards, {config.gap_s:.0f} s idle gap "
+            f"({scenario})"
+        ),
+        "n_streams": config.n_streams,
+        "shards": shards,
+        "cores": cores,
+        "workers_per_shard": config.workers,
+        "audio_seconds": report.audio_seconds,
+        "wall_seconds": report.wall_seconds,
+        "shard_wall_seconds": list(report.shard_wall_seconds),
+        "prepare_seconds": report.prepare_seconds,
+        "sustained_streams": sustained,
+        "streams_per_core_per_second": per_core,
+        "scaling_efficiency": (
+            per_core / single_sustained if single_sustained else 0.0
+        ),
+        "digest_identical": digest_identical,
+        "digest": report.digest_hex(),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="streaming guard: parity gate + fleet throughput"
@@ -127,21 +226,48 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--scenario", default="free_field")
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="process-shard count for the sharded workload "
+        "(default: cpu count)",
+    )
+    parser.add_argument(
         "--output",
         default="BENCH_stream.json",
         help="where to write the JSON record (default: "
         "BENCH_stream.json)",
     )
     args = parser.parse_args(argv)
+    shards = (
+        max(1, os.cpu_count() or 1)
+        if args.shards is None
+        else args.shards
+    )
+    if shards < 1:
+        print(
+            f"error: shards must be >= 1, got {shards}",
+            file=sys.stderr,
+        )
+        return 2
     parity = bench_parity(args.seed, args.scenario)
     fleet = bench_fleet(args.quick, args.seed, args.scenario)
+    sharded = bench_sharded_fleet(
+        args.quick,
+        args.seed,
+        args.scenario,
+        shards,
+        fleet["sustained_streams"],
+    )
     record = {
         "benchmark": "streaming guard parity + fleet throughput",
         "quick": args.quick,
         "seed": args.seed,
         "scenario": args.scenario,
         "gate_sustained_streams": SUSTAINED_STREAMS_GATE,
-        "results": [parity, fleet],
+        "gate_sustained_per_core": SUSTAINED_PER_CORE_GATE,
+        "machine": machine_metadata(),
+        "results": [parity, fleet, sharded],
     }
     with open(args.output, "w") as handle:
         json.dump(record, handle, indent=2)
@@ -165,11 +291,26 @@ def main(argv: list[str] | None = None) -> int:
         fleet["sustained_streams"],
         fleet["mean_latency_ms"],
     )
+    table.add_row(
+        sharded["workload"],
+        sharded["n_streams"],
+        sharded["audio_seconds"],
+        sharded["wall_seconds"],
+        sharded["sustained_streams"],
+        "",
+    )
     print(table.render())
     print(f"wrote {args.output}", file=sys.stderr)
     if not parity["identical"]:
         print(
             "FAIL: chunked streaming diverged from the offline guard",
+            file=sys.stderr,
+        )
+        return 1
+    if not sharded["digest_identical"]:
+        print(
+            "FAIL: sharded fleet digest diverged from the unsharded "
+            "simulator",
             file=sys.stderr,
         )
         return 1
@@ -180,10 +321,24 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
+    per_core_gate = SUSTAINED_PER_CORE_GATE * sharded["cores"]
+    if sharded["sustained_streams"] < per_core_gate:
+        print(
+            f"FAIL: sharded fleet sustains "
+            f"{sharded['sustained_streams']} streams on "
+            f"{sharded['cores']} cores, gate is {per_core_gate} "
+            f"({SUSTAINED_PER_CORE_GATE}/core)",
+            file=sys.stderr,
+        )
+        return 1
     print(
         f"ok: parity bitwise, {fleet['sustained_streams']} concurrent "
-        f"streams sustained "
-        f"(mean latency {fleet['mean_latency_ms']:.0f} ms)",
+        f"streams sustained single-process "
+        f"(mean latency {fleet['mean_latency_ms']:.0f} ms); sharded "
+        f"digest bitwise, {sharded['sustained_streams']} streams over "
+        f"{sharded['shards']} shards "
+        f"({sharded['streams_per_core_per_second']:.0f}/core/s, "
+        f"{sharded['scaling_efficiency']:.2f}x efficiency)",
         file=sys.stderr,
     )
     return 0

@@ -1,0 +1,56 @@
+"""Append fresh ``BENCH_*.json`` records to the perf trajectory.
+
+CI's ``perf-gates`` job restores ``bench-trajectory.jsonl`` from the
+previous run's cache, runs the benchmarks, then calls this script so
+every commit adds one summarised line per benchmark — machine
+metadata (cpu count, python, git sha) included, so points from
+different runners are never compared naively. The file is plain
+JSONL: one benchmark point per line, append-only, trivially
+plottable.
+
+Usage::
+
+    python benchmarks/trajectory.py BENCH_pipeline.json BENCH_stream.json
+    python benchmarks/trajectory.py BENCH_*.json --output history.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.sim.bench import append_trajectory
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="append BENCH_*.json points to the perf trajectory"
+    )
+    parser.add_argument(
+        "records",
+        nargs="+",
+        help="BENCH_*.json files to summarise and append",
+    )
+    parser.add_argument(
+        "--output",
+        default="bench-trajectory.jsonl",
+        help="trajectory file to append to (default: "
+        "bench-trajectory.jsonl)",
+    )
+    args = parser.parse_args(argv)
+    appended = append_trajectory(args.records, args.output)
+    print(
+        f"appended {appended} point(s) to {args.output}",
+        file=sys.stderr,
+    )
+    if appended == 0:
+        print(
+            "FAIL: no benchmark records found to append",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,7 @@ timings go to stderr.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
@@ -73,6 +74,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the vectorized batch trial kernel (scalar "
         "per-trial walk of the same stage list; identical output, "
         "slower)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="process-shard count for the streaming fleet (S1); "
+        "rendered tables are byte-identical for every value, "
+        "throughput lines go to stderr",
     )
     parser.add_argument(
         "--scenario",
@@ -125,15 +134,26 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     with engine:
+        if args.shards < 1:
+            print(
+                f"error: shards must be >= 1, got {args.shards}",
+                file=sys.stderr,
+            )
+            return 2
         for name in names:
             module = ALL_EXPERIMENTS[name]
             started = time.time()
-            table = module.run(
+            kwargs = dict(
                 quick=not args.full,
                 seed=args.seed,
                 engine=engine,
                 scenario=args.scenario,
             )
+            # Only the streaming experiments take a shard count; the
+            # flag is a no-op for the offline tables.
+            if "shards" in inspect.signature(module.run).parameters:
+                kwargs["shards"] = args.shards
+            table = module.run(**kwargs)
             elapsed = time.time() - started
             print(
                 f"[{name}] finished in {elapsed:.1f} s "

@@ -22,6 +22,9 @@ this experiment measures the streaming deployment
 
 from __future__ import annotations
 
+import os
+import sys
+
 import numpy as np
 
 from repro.defense.dataset import DatasetConfig, build_dataset
@@ -36,6 +39,7 @@ from repro.stream.fleet import (
     synthesize_utterances,
 )
 from repro.stream.guard import StreamingGuard
+from repro.stream.shard import ShardedFleetSimulator
 
 
 def train_detector(
@@ -156,8 +160,18 @@ def run(
     jobs: int = 1,
     engine: ExperimentEngine | None = None,
     scenario: str = "free_field",
+    shards: int = 1,
 ) -> ResultTable:
-    """Parity, dispositions and stream-time latency of the online guard."""
+    """Parity, dispositions and stream-time latency of the online guard.
+
+    ``shards`` routes the fleet through the process-sharded driver
+    (:class:`~repro.stream.shard.ShardedFleetSimulator`). The rendered
+    table — dispositions, latencies and the fleet digest row — is
+    byte-identical for every value (the CI shard-determinism job diffs
+    ``--shards 1/2/4`` stdout); wall-clock figures
+    (streams/core/second, per-shard balance) go to stderr, like the
+    CLI's timing lines.
+    """
     spec = get_scenario(scenario)
     chunk_ms = (10, 50, 250) if quick else (5, 10, 50, 250)
     n_streams = 8 if quick else 32
@@ -191,21 +205,40 @@ def run(
                 "yes" if bitwise else "no",
                 "",
             )
-        # The fleet: online segmentation end to end. Worker count
-        # never changes results (pinned by the determinism suite), so
-        # a fixed small pool keeps the table byte-stable everywhere.
-        fleet = FleetSimulator(
-            detector,
-            FleetConfig(
-                scenario=scenario,
-                n_streams=n_streams,
-                utterances_per_stream=1,
-                attack_fraction=0.5,
-                seed=seed + 2,
-                workers=4,
-            ),
+        # The fleet: online segmentation end to end. Worker and shard
+        # counts never change results (pinned by the determinism
+        # suites), so a fixed small pool keeps the table byte-stable
+        # everywhere.
+        fleet_config = FleetConfig(
+            scenario=scenario,
+            n_streams=n_streams,
+            utterances_per_stream=1,
+            attack_fraction=0.5,
+            seed=seed + 2,
+            workers=4,
+            shards=shards,
         )
-        report = fleet.run()
+        if shards == 1:
+            report = FleetSimulator(detector, fleet_config).run()
+        else:
+            report = ShardedFleetSimulator(
+                detector, fleet_config
+            ).run()
+        cores = min(shards, os.cpu_count() or 1)
+        balance = (
+            min(report.shard_wall_seconds)
+            / max(report.shard_wall_seconds)
+            if report.shard_wall_seconds
+            and max(report.shard_wall_seconds) > 0
+            else 1.0
+        )
+        print(
+            f"[S1] fleet shards={shards}: "
+            f"{report.realtime_factor:.0f} sustained streams, "
+            f"{report.realtime_factor / cores:.0f} streams/core/"
+            f"second, shard balance {balance:.2f}",
+            file=sys.stderr,
+        )
         latencies = report.latencies_s()
         mean_latency_ms = (
             1000.0 * float(np.mean(latencies)) if latencies else 0.0
@@ -231,5 +264,16 @@ def run(
             "",
             "",
             max_latency_ms,
+        )
+        # The whole fleet's deterministic fingerprint: identical for
+        # every --shards/--jobs value, which is exactly what the CI
+        # shard-determinism job diffs byte-for-byte.
+        table.add_row(
+            "shard digest",
+            "",
+            report.digest_hex()[:16],
+            "",
+            "",
+            "",
         )
     return table

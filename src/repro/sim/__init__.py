@@ -34,6 +34,10 @@
 ``results``
     Small result-table containers with aligned-text rendering used by
     the benchmarks and EXPERIMENTS.md.
+``bench``
+    Shared ``BENCH_*.json`` plumbing: machine metadata embedded in
+    every record and the ``bench-trajectory.jsonl`` appender behind
+    CI's perf-gates history.
 """
 
 from repro.sim.scenario import (
@@ -79,8 +83,11 @@ from repro.sim.sweep import (
     success_rate_by_scenario,
 )
 from repro.sim.results import ResultTable
+from repro.sim.bench import append_trajectory, machine_metadata
 
 __all__ = [
+    "append_trajectory",
+    "machine_metadata",
     "AttackerMotion",
     "BatchSupport",
     "InterferenceSource",

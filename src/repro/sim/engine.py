@@ -56,6 +56,7 @@ __all__ = [
     "TrialOutcome",
     "attack_range_search",
     "cached_voice",
+    "partition_evenly",
     "process_cache",
     "stable_key",
 ]
@@ -190,8 +191,14 @@ def _spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
         ) from error
 
 
-def _partition(items: Sequence, n_parts: int) -> list[list]:
-    """Split into at most ``n_parts`` contiguous, near-equal chunks."""
+def partition_evenly(items: Sequence, n_parts: int) -> list[list]:
+    """Split into at most ``n_parts`` contiguous, near-equal chunks.
+
+    The partition is a pure function of ``(len(items), n_parts)``, so
+    schedulers that key work on it — the engine's trial batching, the
+    sharded fleet's stream planner — stay deterministic for any
+    worker count.
+    """
     n_parts = max(1, min(n_parts, len(items)))
     base, extra = divmod(len(items), n_parts)
     chunks, start = [], 0
@@ -389,7 +396,7 @@ class ExperimentEngine:
         spans: list[int] = []
         for group, group_rng in zip(groups, _spawn(rng, len(groups))):
             trial_rngs = _spawn(group_rng, group.n_trials)
-            batches = _partition(trial_rngs, batches_per_group)
+            batches = partition_evenly(trial_rngs, batches_per_group)
             spans.append(len(batches))
             tasks.extend(
                 (group, tuple(batch), keep_recordings, use_batch)

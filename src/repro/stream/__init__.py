@@ -28,6 +28,11 @@ after the speech ends.
     concurrent device streams multiplexed over the batched trial
     pipeline, with per-stream ``SeedSequence`` randomness and
     worker-count-independent results.
+``shard``
+    :class:`~repro.stream.shard.ShardedFleetSimulator`, the fleet
+    partitioned into per-process shards with commit-queue result
+    draining — digests bitwise identical to the unsharded simulator
+    for every shard × worker count.
 """
 
 from repro.stream.chunker import ChunkedStream
@@ -44,6 +49,15 @@ from repro.stream.fleet import (
     synthesize_utterances,
 )
 from repro.stream.guard import StreamingGuard, UtteranceOutcome
+from repro.stream.shard import (
+    CommitQueue,
+    ShardAccumulator,
+    ShardedFleetSimulator,
+    ShardResult,
+    ShardTask,
+    plan_shards,
+    run_shard,
+)
 from repro.stream.segmenter import (
     OnlineSegmenter,
     SegmenterConfig,
@@ -67,4 +81,11 @@ __all__ = [
     "StreamResult",
     "UtteranceDigest",
     "synthesize_utterances",
+    "CommitQueue",
+    "ShardAccumulator",
+    "ShardResult",
+    "ShardTask",
+    "ShardedFleetSimulator",
+    "plan_shards",
+    "run_shard",
 ]

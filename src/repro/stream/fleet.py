@@ -26,11 +26,18 @@ function of its config:
   (:attr:`FleetReport.wall_seconds`), which is what
   ``benchmarks/bench_stream.py`` records in ``BENCH_stream.json``.
 
-Streams are processed by a thread pool. Threads, not processes, are
-the right model here: the heavy per-chunk DSP is NumPy/SciPy work
-that releases the GIL, and sharing the enrolled recogniser and fitted
-detector read-only costs nothing, where per-process copies would
-dominate start-up.
+Within one simulator, streams are processed by a thread pool.
+Threads, not processes, are the right model *inside* a core's worth
+of work: the heavy per-chunk DSP is NumPy/SciPy work that releases
+the GIL, and sharing the enrolled recogniser and fitted detector
+read-only costs nothing, where per-process copies would dominate
+start-up. To scale *across* cores, :mod:`repro.stream.shard`
+partitions the fleet into per-process shards, each running this
+module's stream loop over its own partition — which is why the loop
+body (:func:`drive_stream`), the per-class synthesis
+(:func:`synthesize_utterances`, emission-cached per process through
+:mod:`repro.sim.engine`) and the result containers here are all
+module-level and picklable.
 """
 
 from __future__ import annotations
@@ -48,9 +55,10 @@ from repro.defense.detector import InaudibleVoiceDetector
 from repro.dsp.signals import Signal
 from repro.errors import StreamError
 from repro.hardware.devices import horn_tweeter
+from repro.sim.cache import stable_key
+from repro.sim.engine import EmissionSpec, cached_voice
 from repro.sim.pipeline import build_pipeline, level_stage
 from repro.sim.spec import RIG_POSITION, get_scenario
-from repro.speech.commands import synthesize_command
 from repro.speech.recognizer import KeywordRecognizer
 from repro.stream.guard import StreamingGuard, UtteranceOutcome
 from repro.stream.segmenter import SegmenterConfig
@@ -94,8 +102,14 @@ class FleetConfig:
     seed:
         Master seed for the whole fleet.
     workers:
-        Thread count for processing; results are identical for every
-        value.
+        Thread count for processing (per shard, when sharded);
+        results are identical for every value.
+    shards:
+        Process-shard count for :class:`~repro.stream.shard.
+        ShardedFleetSimulator`. :class:`FleetSimulator` itself is the
+        single-shard loop and ignores this knob; results are bitwise
+        identical for every value (the shard determinism suite and CI
+        job pin it).
     """
 
     scenario: str = "free_field"
@@ -110,6 +124,7 @@ class FleetConfig:
     background_ratio: float = 0.1
     seed: int = 0
     workers: int = 1
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.n_streams < 1:
@@ -140,6 +155,10 @@ class FleetConfig:
         if self.workers < 1:
             raise StreamError(
                 f"workers must be >= 1, got {self.workers}"
+            )
+        if self.shards < 1:
+            raise StreamError(
+                f"shards must be >= 1, got {self.shards}"
             )
         get_scenario(self.scenario)  # fail at construction, not mid-run
 
@@ -203,6 +222,10 @@ class FleetReport:
     streams: list[StreamResult] = field(repr=False)
     prepare_seconds: float = 0.0
     wall_seconds: float = 0.0
+    #: Per-shard streaming wall clock (empty when unsharded). The
+    #: spread diagnoses load imbalance; the coordinator's
+    #: ``wall_seconds`` stays the throughput denominator.
+    shard_wall_seconds: tuple[float, ...] = ()
 
     @property
     def audio_seconds(self) -> float:
@@ -257,6 +280,32 @@ class FleetReport:
             for s in self.streams
         )
 
+    def digest_hex(self) -> str:
+        """The digest as a stable hex hash — what the S1 table prints
+        and the CI shard-determinism job diffs byte-for-byte."""
+        return stable_key(self.digest())
+
+
+def attack_fleet_emission(command: str, voice_seed: int):
+    """Inaudible-command emission for one fleet voice (cache builder).
+
+    Module-level so :class:`~repro.sim.engine.EmissionSpec` pickles it
+    by reference and each shard process materialises the multi-MB
+    waveform at most once, whatever its task count.
+    """
+    voice = cached_voice(command, voice_seed)
+    return SingleSpeakerAttacker(horn_tweeter(), RIG_POSITION).emit(
+        voice
+    )
+
+
+def genuine_fleet_emission(command: str, voice_seed: int):
+    """Audible-playback emission for one fleet voice (cache builder)."""
+    voice = cached_voice(command, voice_seed)
+    return AudiblePlaybackAttacker(
+        RIG_POSITION, speech_spl_at_1m=GENUINE_REFERENCE_SPL
+    ).emit(voice)
+
 
 def synthesize_utterances(
     scenario_name: str,
@@ -272,15 +321,19 @@ def synthesize_utterances(
     Slots are grouped by class (``attack_mask``) and executed through
     the *batched* trial pipeline — synthesis is two pipeline passes
     regardless of slot count, with per-slot generators keeping every
-    stream's draws independent. Shared by the fleet simulator and the
-    S1 experiment's parity probes.
+    stream's draws independent; each trial's outcome depends only on
+    its own generator, so synthesising any *subset* of slots (a
+    shard's partition) is bitwise identical to the full pass. The
+    voice and both class emissions come from the engine's per-process
+    cache (:func:`~repro.sim.engine.cached_voice`,
+    :class:`~repro.sim.engine.EmissionSpec`), so a shard process
+    builds each waveform once and reuses it across every task it
+    executes. Shared by the fleet simulator, the shard workers and
+    the S1 experiment's parity probes.
     """
     spec = get_scenario(scenario_name)
     scenario = spec.build(command, distance_m)
     device = spec.build_device()
-    voice = synthesize_command(
-        command, np.random.default_rng(voice_seed)
-    )
     recordings: list[Signal | None] = [None] * len(rng_children)
     attack_slots = [
         k for k in range(len(rng_children)) if attack_mask[k]
@@ -289,19 +342,21 @@ def synthesize_utterances(
         k for k in range(len(rng_children)) if not attack_mask[k]
     ]
     if attack_slots:
-        attacker = SingleSpeakerAttacker(horn_tweeter(), RIG_POSITION)
+        emission = EmissionSpec(
+            attack_fleet_emission, (command, voice_seed)
+        )
         pipeline = build_pipeline(
             scenario, device.microphone, recognize=False
         )
-        ctx = pipeline.context(list(attacker.emit(voice).sources))
+        ctx = pipeline.context(list(emission.sources()))
         rows = pipeline.run_trials(
             ctx, [rng_children[k] for k in attack_slots]
         )
         for k, row in zip(attack_slots, rows):
             recordings[k] = row
     if genuine_slots:
-        playback = AudiblePlaybackAttacker(
-            RIG_POSITION, speech_spl_at_1m=GENUINE_REFERENCE_SPL
+        emission = EmissionSpec(
+            genuine_fleet_emission, (command, voice_seed)
         )
         pipeline = build_pipeline(
             scenario,
@@ -309,13 +364,137 @@ def synthesize_utterances(
             recognize=False,
             gain_stage=level_stage(55.0, 68.0, GENUINE_REFERENCE_SPL),
         )
-        ctx = pipeline.context(list(playback.emit(voice).sources))
+        ctx = pipeline.context(list(emission.sources()))
         rows = pipeline.run_trials(
             ctx, [rng_children[k] for k in genuine_slots]
         )
         for k, row in zip(genuine_slots, rows):
             recordings[k] = row
     return recordings, device.recognizer
+
+
+def fleet_seed_plan(
+    config: FleetConfig,
+) -> tuple[
+    np.ndarray,
+    list[np.random.SeedSequence],
+    list[np.random.SeedSequence],
+]:
+    """The fleet's deterministic randomness layout.
+
+    Returns ``(attack_mask, trial_seqs, stream_seqs)`` — the
+    per-slot class assignment, one :class:`~numpy.random.SeedSequence`
+    per utterance slot and one per stream — all derived from
+    ``config.seed`` alone. This is the *single* statement of the
+    fleet's seeding: :class:`FleetSimulator` and the sharded driver
+    (:mod:`repro.stream.shard`) both consume it, which is what makes
+    their digests bitwise comparable for any shard count.
+    """
+    n_slots = config.n_streams * config.utterances_per_stream
+    root = np.random.SeedSequence(config.seed)
+    assign_seq, trials_seq, streams_seq = root.spawn(3)
+    attack_mask = (
+        np.random.default_rng(assign_seq).random(n_slots)
+        < config.attack_fraction
+    )
+    return (
+        attack_mask,
+        trials_seq.spawn(n_slots),
+        streams_seq.spawn(config.n_streams),
+    )
+
+
+@dataclass
+class RawStreamRun:
+    """One stream's undigested outcome — the unit the commit queue
+    drains.
+
+    The driving thread produces this (cheap: references, no
+    summarisation) and moves on to its next stream; converting the
+    guard outcomes into the deterministic :class:`StreamResult`
+    digest happens off the ingestion hot path (in the shard's commit
+    queue, or inline in the unsharded simulator).
+    """
+
+    index: int
+    is_attack: tuple[bool, ...]
+    duration_s: float
+    outcomes: list[UtteranceOutcome]
+
+    def commit(self) -> StreamResult:
+        return StreamResult(
+            index=self.index,
+            is_attack=self.is_attack,
+            duration_s=self.duration_s,
+            utterances=tuple(
+                UtteranceDigest.of(outcome)
+                for outcome in self.outcomes
+            ),
+        )
+
+
+def drive_stream(
+    config: FleetConfig,
+    detector: InaudibleVoiceDetector,
+    segmenter_config: SegmenterConfig | None,
+    index: int,
+    rate: float,
+    recognizer: KeywordRecognizer,
+    recordings: list[Signal],
+    attack_mask: np.ndarray,
+    seed_seq: np.random.SeedSequence,
+) -> RawStreamRun:
+    """One device's whole timeline through its own guard.
+
+    Module-level (picklable by reference) and a pure function of its
+    arguments, so the unsharded thread pool and the per-process shard
+    workers execute the identical loop body.
+    """
+    rng = np.random.default_rng(seed_seq)
+    mean_rms = float(
+        np.mean([recording.rms() for recording in recordings])
+    )
+    background_rms = config.background_ratio * max(mean_rms, 1e-12)
+
+    def ambient(duration_s: float) -> np.ndarray:
+        n = int(round(duration_s * rate))
+        return rng.normal(0.0, 1.0, n) * background_rms
+
+    pieces = [ambient(config.lead_in_s)]
+    for recording in recordings:
+        pieces.append(recording.samples)
+        pieces.append(ambient(config.gap_s))
+    samples = np.concatenate(pieces)
+    guard = StreamingGuard(
+        recognizer,
+        detector,
+        rate,
+        unit=recordings[0].unit,
+        gated=True,
+        segmenter_config=segmenter_config,
+    )
+    chunk = max(1, int(round(config.chunk_s * rate)))
+    outcomes: list[UtteranceOutcome] = []
+    for start in range(0, samples.shape[0], chunk):
+        outcomes.extend(guard.push(samples[start : start + chunk]))
+    outcomes.extend(guard.flush())
+    return RawStreamRun(
+        index=index,
+        is_attack=tuple(bool(flag) for flag in attack_mask),
+        duration_s=samples.shape[0] / rate,
+        outcomes=outcomes,
+    )
+
+
+def check_fleet_rate(recordings: list[Signal]) -> float:
+    """The fleet's single device rate, or a :class:`StreamError`."""
+    rate = recordings[0].sample_rate
+    for recording in recordings:
+        if recording.sample_rate != rate:
+            raise StreamError(
+                "all fleet recordings must share one device rate"
+            )
+    return rate
 
 
 class FleetSimulator:
@@ -347,18 +526,10 @@ class FleetSimulator:
     def run(self) -> FleetReport:
         """Synthesise, stream and decide the whole fleet."""
         config = self.config
-        n_slots = config.n_streams * config.utterances_per_stream
-        root = np.random.SeedSequence(config.seed)
-        assign_seq, trials_seq, streams_seq = root.spawn(3)
-        attack_mask = (
-            np.random.default_rng(assign_seq).random(n_slots)
-            < config.attack_fraction
-        )
+        attack_mask, trial_seqs, stream_seqs = fleet_seed_plan(config)
         trial_rngs = [
-            np.random.default_rng(child)
-            for child in trials_seq.spawn(n_slots)
+            np.random.default_rng(child) for child in trial_seqs
         ]
-        stream_seqs = streams_seq.spawn(config.n_streams)
 
         prepare_started = time.perf_counter()
         recordings, recognizer = synthesize_utterances(
@@ -370,29 +541,21 @@ class FleetSimulator:
             voice_seed=config.seed,
         )
         prepare_seconds = time.perf_counter() - prepare_started
-
-        rate = recordings[0].sample_rate
-        for recording in recordings:
-            if recording.sample_rate != rate:
-                raise StreamError(
-                    "all fleet recordings must share one device rate"
-                )
+        rate = check_fleet_rate(recordings)
+        per = config.utterances_per_stream
 
         def drive(index: int) -> StreamResult:
-            return self._drive_stream(
+            return drive_stream(
+                config,
+                self.detector,
+                self.segmenter_config,
                 index,
                 rate,
                 recognizer,
-                recordings[
-                    index * config.utterances_per_stream : (index + 1)
-                    * config.utterances_per_stream
-                ],
-                attack_mask[
-                    index * config.utterances_per_stream : (index + 1)
-                    * config.utterances_per_stream
-                ],
+                recordings[index * per : (index + 1) * per],
+                attack_mask[index * per : (index + 1) * per],
                 stream_seqs[index],
-            )
+            ).commit()
 
         started = time.perf_counter()
         if config.workers == 1:
@@ -411,54 +574,4 @@ class FleetSimulator:
             streams=results,
             prepare_seconds=prepare_seconds,
             wall_seconds=wall_seconds,
-        )
-
-    def _drive_stream(
-        self,
-        index: int,
-        rate: float,
-        recognizer: KeywordRecognizer,
-        recordings: list[Signal],
-        attack_mask: np.ndarray,
-        seed_seq: np.random.SeedSequence,
-    ) -> StreamResult:
-        """One device's whole timeline through its own guard."""
-        config = self.config
-        rng = np.random.default_rng(seed_seq)
-        mean_rms = float(
-            np.mean([recording.rms() for recording in recordings])
-        )
-        background_rms = config.background_ratio * max(
-            mean_rms, 1e-12
-        )
-
-        def ambient(duration_s: float) -> np.ndarray:
-            n = int(round(duration_s * rate))
-            return rng.normal(0.0, 1.0, n) * background_rms
-
-        pieces = [ambient(config.lead_in_s)]
-        for recording in recordings:
-            pieces.append(recording.samples)
-            pieces.append(ambient(config.gap_s))
-        samples = np.concatenate(pieces)
-        guard = StreamingGuard(
-            recognizer,
-            self.detector,
-            rate,
-            unit=recordings[0].unit,
-            gated=True,
-            segmenter_config=self.segmenter_config,
-        )
-        chunk = max(1, int(round(config.chunk_s * rate)))
-        outcomes: list[UtteranceOutcome] = []
-        for start in range(0, samples.shape[0], chunk):
-            outcomes.extend(guard.push(samples[start : start + chunk]))
-        outcomes.extend(guard.flush())
-        return StreamResult(
-            index=index,
-            is_attack=tuple(bool(flag) for flag in attack_mask),
-            duration_s=samples.shape[0] / rate,
-            utterances=tuple(
-                UtteranceDigest.of(outcome) for outcome in outcomes
-            ),
         )

@@ -111,6 +111,27 @@ def chunk_partitions(draw, n_samples: int, max_parts: int = 8):
     return sizes
 
 
+@st.composite
+def index_partitions(draw, n: int, max_parts: int = 4):
+    """A partition of ``range(n)`` into 1..``max_parts`` disjoint,
+    non-empty groups — arbitrary membership *and* arbitrary order
+    inside each group.
+
+    Drives the sharded-fleet property: any way of assigning streams
+    to shards (contiguous or not, sorted or not) must merge to the
+    same fleet digest as the unsharded simulator.
+    """
+    if n < 1:
+        raise ValueError("index_partitions needs n >= 1")
+    order = draw(st.permutations(list(range(n))))
+    sizes = draw(chunk_partitions(n, max_parts=min(max_parts, n)))
+    groups, start = [], 0
+    for size in sizes:
+        groups.append(order[start : start + size])
+        start += size
+    return groups
+
+
 # -- geometry ----------------------------------------------------------
 #: Coordinates kept within a plausible scene so distances and
 #: propagation losses stay well-conditioned.

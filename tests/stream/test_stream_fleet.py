@@ -108,6 +108,8 @@ class TestConfigValidation:
             FleetConfig(background_ratio=0.0)
         with pytest.raises(StreamError):
             FleetConfig(workers=0)
+        with pytest.raises(StreamError):
+            FleetConfig(shards=0)
 
     def test_unknown_scenario_rejected(self):
         with pytest.raises(Exception):
