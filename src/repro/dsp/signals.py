@@ -279,7 +279,15 @@ class Signal:
         current = self.peak()
         if current == 0.0:
             return self.copy()
-        return self * (peak / current)
+        gain = peak / current
+        if not np.isfinite(gain):
+            # A subnormal peak makes the one-step gain overflow to
+            # inf; normalising first keeps every intermediate in
+            # range (|sample| <= current, so sample/current is in
+            # [-1, 1]). Only this degenerate path takes the two-step
+            # route — the normal path stays bitwise unchanged.
+            return self.replace(samples=self.samples / current * peak)
+        return self * gain
 
     def scaled_to_rms(self, target_rms: float) -> "Signal":
         """Scale so the RMS equals ``target_rms`` (silence unchanged)."""
@@ -290,7 +298,12 @@ class Signal:
         current = self.rms()
         if current == 0.0:
             return self.copy()
-        return self * (target_rms / current)
+        gain = target_rms / current
+        if not np.isfinite(gain):
+            # Same overflow guard as scaled_to_peak: normalise first
+            # when the one-step gain leaves float range.
+            return self.replace(samples=self.samples / current * target_rms)
+        return self * gain
 
     def slice_time(self, start: float, end: float) -> "Signal":
         """Return the sub-signal between ``start`` and ``end`` seconds."""

@@ -16,9 +16,12 @@ and walks the scalar stage list instead. ``--scenario NAME`` runs any
 experiment — every one of the 16 accepts it — in a registered
 environment (``repro.sim.spec``): a reverberant room, a walking
 attacker, TV interference, outdoor wind; ``--list-scenarios`` prints
-the registry. Rendered tables go to stdout and are byte-identical for
-every ``--jobs`` value and for both batch modes; per-experiment
-timings go to stderr.
+the registry. ``--scenario random:<seed>`` instead *generates* a
+deterministic environment from the integer seed (``repro.sim.fuzz``) —
+random room, multi-leg trajectory, multiple interferers, weather —
+and echoes the generated spec to stderr for reproduction. Rendered
+tables go to stdout and are byte-identical for every ``--jobs`` value
+and for both batch modes; per-experiment timings go to stderr.
 """
 
 from __future__ import annotations
@@ -28,7 +31,7 @@ import inspect
 import sys
 import time
 
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, ReproError
 from repro.experiments import ALL_EXPERIMENTS
 from repro.sim.engine import ExperimentEngine
 from repro.sim.spec import get_scenario, scenario_names
@@ -36,10 +39,15 @@ from repro.sim.spec import get_scenario, scenario_names
 
 def render_scenarios() -> str:
     """The registry as ``name - description`` lines."""
-    return "\n".join(
+    lines = [
         f"{name:<18} {get_scenario(name).description}"
         for name in scenario_names()
+    ]
+    lines.append(
+        f"{'random:<seed>':<18} deterministic generated environment "
+        "(repro.sim.fuzz); same seed, same scenario"
     )
+    return "\n".join(lines)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,6 +66,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--full",
         action="store_true",
         help="full-resolution sweeps (slow) instead of quick mode",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="quick mode — the default; the explicit flag exists for "
+        "symmetry with --full and rejects the contradictory pair",
     )
     parser.add_argument(
         "--seed", type=int, default=0, help="master random seed"
@@ -86,9 +100,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--scenario",
         default="free_field",
-        choices=scenario_names(),
-        help="environment to run in (default: free_field); every "
-        "experiment accepts it — see --list-scenarios",
+        help="environment to run in (default: free_field): a "
+        "registered name (see --list-scenarios) or random:<seed> to "
+        "generate one deterministically from the integer seed",
     )
     parser.add_argument(
         "--list-scenarios",
@@ -102,6 +116,12 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.quick and args.full:
+        print(
+            "error: --quick and --full are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
     if args.list_scenarios:
         print(render_scenarios())
         return 0
@@ -124,6 +144,14 @@ def main(argv: list[str] | None = None) -> int:
             f"{sorted(ALL_EXPERIMENTS)} or 'all'",
             file=sys.stderr,
         )
+        return 2
+    # Resolve the scenario up front: a typo (or malformed
+    # random:<seed>) fails before any experiment runs, and a
+    # generated spec gets echoed to stderr before its tables render.
+    try:
+        get_scenario(args.scenario)
+    except ExperimentError as error:
+        print(f"error: {error}", file=sys.stderr)
         return 2
     # One engine (one worker pool) shared by every experiment, so
     # pool start-up and per-process emission caches amortise across
@@ -153,7 +181,19 @@ def main(argv: list[str] | None = None) -> int:
             # flag is a no-op for the offline tables.
             if "shards" in inspect.signature(module.run).parameters:
                 kwargs["shards"] = args.shards
-            table = module.run(**kwargs)
+            try:
+                table = module.run(**kwargs)
+            except ReproError as error:
+                # A generated environment can be legitimately
+                # unrunnable for a particular sweep (e.g. a room too
+                # short for a pinned distance); fail that cleanly,
+                # with the seed-bearing scenario name in the message.
+                print(
+                    f"error: [{name}] scenario {args.scenario!r}: "
+                    f"{error}",
+                    file=sys.stderr,
+                )
+                return 1
             elapsed = time.time() - started
             print(
                 f"[{name}] finished in {elapsed:.1f} s "

@@ -44,8 +44,16 @@ from repro.sim.scenario import (
     AttackerMotion,
     InterferenceSource,
     Scenario,
+    TrajectoryLeg,
     VictimDevice,
     interference_waveform,
+)
+from repro.sim.fuzz import (
+    FUZZ_PREFIX,
+    FuzzGrammar,
+    FuzzSeedError,
+    generate_scenario,
+    parse_fuzz_seed,
 )
 from repro.sim.spec import (
     InterferenceSpec,
@@ -108,6 +116,12 @@ __all__ = [
     "EmissionCache",
     "EmissionSpec",
     "ExperimentEngine",
+    "FUZZ_PREFIX",
+    "FuzzGrammar",
+    "FuzzSeedError",
+    "TrajectoryLeg",
+    "generate_scenario",
+    "parse_fuzz_seed",
     "TrialGroup",
     "attack_range_search",
     "cached_voice",

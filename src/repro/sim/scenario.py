@@ -190,6 +190,31 @@ def interference_waveform(
 
 
 @dataclass(frozen=True)
+class TrajectoryLeg:
+    """One leg of a multi-leg walk: a dwell region along the axis.
+
+    A leg is a uniform excursion of width ``span_m`` centred
+    ``offset_m`` away from the resting distance — "standing two steps
+    closer", "pacing near the door". A multi-leg
+    :class:`AttackerMotion` picks a leg per trial, so the distance
+    distribution becomes a mixture instead of a single interval.
+    """
+
+    offset_m: float
+    span_m: float
+
+    def __post_init__(self) -> None:
+        if self.span_m <= 0:
+            raise ExperimentError(
+                f"leg span must be positive, got {self.span_m}"
+            )
+        if not np.isfinite(self.offset_m):
+            raise ExperimentError(
+                f"leg offset must be finite, got {self.offset_m}"
+            )
+
+
+@dataclass(frozen=True)
 class AttackerMotion:
     """A walking attacker, as a per-trial geometry perturbation.
 
@@ -207,14 +232,22 @@ class AttackerMotion:
     Attributes
     ----------
     span_m:
-        Peak-to-peak walk range along the attacker-victim axis.
+        Peak-to-peak walk range along the attacker-victim axis
+        (ignored when ``legs`` is non-empty).
     min_distance_m:
         Closest approach; displacement draws are clamped so the
         effective distance never collapses to (or through) zero.
+    legs:
+        Optional multi-leg walk: each trial first picks one
+        :class:`TrajectoryLeg` uniformly, then draws its displacement
+        within that leg. Empty (the default) keeps the original
+        single-interval walk and its exact random stream, so adding
+        the feature changed nothing about existing scenarios.
     """
 
     span_m: float
     min_distance_m: float = 0.25
+    legs: tuple[TrajectoryLeg, ...] = ()
 
     def __post_init__(self) -> None:
         if self.span_m <= 0:
@@ -226,12 +259,32 @@ class AttackerMotion:
                 "minimum approach distance must be positive, got "
                 f"{self.min_distance_m}"
             )
+        for leg in self.legs:
+            if not isinstance(leg, TrajectoryLeg):
+                raise ExperimentError(
+                    f"legs must be TrajectoryLeg instances, got "
+                    f"{type(leg).__qualname__}"
+                )
 
     def trial_gain(
         self, base_distance_m: float, rng: np.random.Generator
     ) -> float:
-        """Amplitude factor for one trial (consumes one uniform draw)."""
-        delta = rng.uniform(-self.span_m / 2.0, self.span_m / 2.0)
+        """Amplitude factor for one trial.
+
+        Single-interval walks consume exactly one uniform draw (the
+        original stream contract); multi-leg walks consume one
+        integer draw (the leg) followed by one uniform draw (the
+        displacement within it). Both execution pipelines call this
+        per trial generator, so the draw order is mode-invariant by
+        construction.
+        """
+        if self.legs:
+            leg = self.legs[int(rng.integers(len(self.legs)))]
+            delta = leg.offset_m + rng.uniform(
+                -leg.span_m / 2.0, leg.span_m / 2.0
+            )
+        else:
+            delta = rng.uniform(-self.span_m / 2.0, self.span_m / 2.0)
         effective = max(base_distance_m + delta, self.min_distance_m)
         return base_distance_m / effective
 

@@ -32,6 +32,7 @@ from repro.sim.scenario import (
     AttackerMotion,
     InterferenceSource,
     Scenario,
+    TrajectoryLeg,
     VictimDevice,
 )
 
@@ -82,14 +83,25 @@ class WeatherSpec:
 @dataclass(frozen=True)
 class TrajectorySpec:
     """Pure-data attacker trajectory (see
-    :class:`~repro.sim.scenario.AttackerMotion`)."""
+    :class:`~repro.sim.scenario.AttackerMotion`).
+
+    ``legs`` describes a multi-leg walk as ``(offset_m, span_m)``
+    pairs — pure data, so specs stay hashable and picklable; empty
+    keeps the original single-interval walk.
+    """
 
     span_m: float
     min_distance_m: float = 0.25
+    legs: tuple[tuple[float, float], ...] = ()
 
     def build(self) -> AttackerMotion:
         return AttackerMotion(
-            span_m=self.span_m, min_distance_m=self.min_distance_m
+            span_m=self.span_m,
+            min_distance_m=self.min_distance_m,
+            legs=tuple(
+                TrajectoryLeg(offset_m=offset, span_m=span)
+                for offset, span in self.legs
+            ),
         )
 
 
@@ -284,13 +296,28 @@ def register_scenario(
 
 
 def get_scenario(name: str) -> ScenarioSpec:
-    """Look a spec up by name, with a helpful error."""
+    """Resolve a scenario: a registered name, or ``random:<seed>``.
+
+    ``random:<seed>`` bypasses the registry entirely — the spec is
+    *generated* deterministically from the integer seed by
+    :mod:`repro.sim.fuzz` (and echoed to stderr once per process so a
+    failing fuzz case is always reproducible from the printed seed).
+    Anything else is a registry lookup with a helpful error.
+    """
+    # Local import: fuzz builds ScenarioSpec objects, so it imports
+    # this module; resolving lazily keeps the dependency one-way at
+    # import time.
+    from repro.sim import fuzz
+
+    if fuzz.is_fuzz_name(name):
+        return fuzz.generated_scenario(name)
     try:
         return _REGISTRY[name]
     except KeyError:
         raise ExperimentError(
             f"unknown scenario {name!r}; registered: "
-            f"{sorted(_REGISTRY)}"
+            f"{sorted(_REGISTRY)} (or generate one with "
+            "'random:<seed>')"
         ) from None
 
 

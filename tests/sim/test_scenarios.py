@@ -20,6 +20,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from differential import outcomes_identical
 from strategies import rooms
 from repro.acoustics.geometry import Position
 from repro.errors import ExperimentError
@@ -62,27 +63,6 @@ def phone_device():
 @pytest.fixture(scope="module")
 def emission_spec():
     return EmissionSpec(single_full, ("ok_google", 5))
-
-
-def outcomes_identical(a, b, compare_recordings=True) -> bool:
-    if len(a) != len(b):
-        return False
-    for x, y in zip(a, b):
-        if (
-            x.success != y.success
-            or x.recognized_command != y.recognized_command
-            or x.accepted != y.accepted
-            or x.distance != y.distance
-        ):
-            return False
-        if compare_recordings:
-            if (x.recording is None) != (y.recording is None):
-                return False
-            if x.recording is not None and not np.array_equal(
-                x.recording.samples, y.recording.samples
-            ):
-                return False
-    return True
 
 
 class TestRegistry:

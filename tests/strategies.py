@@ -17,6 +17,7 @@ from hypothesis import strategies as st
 
 from repro.acoustics.geometry import Position, Room
 from repro.dsp.signals import Signal, SignalBatch
+from repro.sim.fuzz import generate_scenario
 
 #: Bounded finite sample values — wide enough to exercise scaling,
 #: narrow enough that squared sums stay finite.
@@ -130,6 +131,26 @@ def index_partitions(draw, n: int, max_parts: int = 4):
         groups.append(order[start : start + size])
         start += size
     return groups
+
+
+# -- scenario fuzzing --------------------------------------------------
+#: Seeds of the generative scenario grammar (``repro.sim.fuzz``). The
+#: CLI accepts exactly these integers as ``--scenario random:<seed>``,
+#: so any falsifying seed hypothesis prints is replayable verbatim
+#: from the command line.
+fuzz_seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@st.composite
+def generated_specs(draw):
+    """A :class:`ScenarioSpec` drawn through the CLI's own grammar.
+
+    Hypothesis and ``--scenario random:<seed>`` share one generator:
+    the strategy draws a seed and maps it through
+    :func:`repro.sim.fuzz.generate_scenario`, so shrinking happens in
+    seed space and every counterexample names a reproducible scenario.
+    """
+    return generate_scenario(draw(fuzz_seeds))
 
 
 # -- geometry ----------------------------------------------------------

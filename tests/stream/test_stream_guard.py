@@ -299,6 +299,65 @@ class TestSegmenterStateMachine:
             == seg.max_samples
         )
 
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_forced_close_on_a_chunk_boundary_matches_offline(
+        self, data
+    ):
+        """An utterance that hits ``max_utterance_s`` exactly at a
+        chunk boundary yields the same event trace as the offline
+        (single-call) path.
+
+        The forcing frame is the nastiest place to cut the energy
+        stream: the close fires on the last frame of one chunk or the
+        first frame of the next, and either way the trace — open and
+        close frames, sample boundaries, the ``forced`` flag — must be
+        identical to processing every frame in one call.
+        """
+        config = SegmenterConfig(
+            open_frames=2,
+            hangover_frames=3,
+            close_frames=4,
+            max_utterance_s=0.5,
+        )
+        n_quiet = data.draw(st.integers(min_value=3, max_value=12))
+        energies = np.asarray([1.0] * n_quiet + [10.0] * 80)
+        offline_seg = OnlineSegmenter(16000.0, config)
+        offline_events = offline_seg.process(0, energies)
+        closed = [
+            e for e in offline_events if isinstance(e, UtteranceClosed)
+        ]
+        assert closed and closed[0].forced
+        # The span is capped at exactly max_samples (0.5 s lands on
+        # the frame grid: 8000 samples = 48 hops past the opening
+        # frame), so the boundary below cuts at the precise frame
+        # where the cap trips.
+        assert (
+            closed[0].end_sample - closed[0].start_sample
+            == offline_seg.max_samples
+        )
+        force_frame = closed[0].frame
+        assert force_frame < len(energies) - 1
+        cuts = data.draw(
+            st.sets(
+                st.integers(min_value=1, max_value=len(energies) - 1),
+                max_size=5,
+            )
+        )
+        # Pin one cut to the forcing frame itself (close fires as the
+        # first frame of a chunk) or one past it (as the last frame).
+        cuts.add(
+            data.draw(st.sampled_from([force_frame, force_frame + 1]))
+        )
+        edges = [0] + sorted(cuts) + [len(energies)]
+        streamed_seg = OnlineSegmenter(16000.0, config)
+        streamed_events = []
+        for start, end in zip(edges, edges[1:]):
+            streamed_events.extend(
+                streamed_seg.process(start, energies[start:end])
+            )
+        assert streamed_events == offline_events
+
     def test_out_of_order_frames_rejected(self):
         seg = OnlineSegmenter(16000.0, self.CFG)
         seg.process(0, np.ones(5))
