@@ -1,27 +1,39 @@
 """Benchmark the declarative trial pipeline: scalar vs batched mode.
 
-The two workloads that matter to the suite's wall clock:
+Three workloads, each timed in both executor modes and verified to
+agree bitwise before any timing is reported:
 
 * **T2-class trial groups** — the 32-speaker split-array success-rate
-  cell, executed through ``ExperimentEngine`` with the pipeline's
-  batched executor on and off;
+  cell in the free field, executed through ``ExperimentEngine`` with
+  the pipeline's batched executor on and off. Recognition-inclusive,
+  so the batched DTW kernel and per-chunk filter-design amortisation
+  both count. Gated: batch must be >= 1.5x scalar in full mode.
+* **walking-attacker trial groups** — the same cell under the mobile
+  attacker, adding the per-trial motion-gain stage. Gated at the same
+  1.5x floor.
 * **defense dataset build** — ``build_dataset`` for an F8-class
-  config, whose recording synthesis now runs on the same pipeline
-  (one transmission per cell, stacked per-trial stages).
+  config. This workload is *parity-bound*: ~two thirds of its wall
+  clock is zero-phase filtering and per-trial noise draws that the
+  bitwise batch-equals-scalar contract forces both modes to execute
+  identically, so its honest ceiling is well below 1.5x (see the
+  profile breakdown in EXPERIMENTS.md). It is reported as a
+  diagnostic row with a regression tripwire, not a vectorization
+  gate.
 
-Both modes are verified to agree before timings are reported, and the
-results are written to ``BENCH_pipeline.json`` so CI records the perf
-trajectory run over run::
+The results — plus a per-stage wall-time breakdown from the
+pipeline's :class:`~repro.sim.pipeline.StageProfile` hook — are
+written to ``BENCH_pipeline.json`` so CI records the perf trajectory
+run over run::
 
     python benchmarks/bench_pipeline.py --quick    # CI smoke
-    python benchmarks/bench_pipeline.py            # paper numbers
+    python benchmarks/bench_pipeline.py            # gated paper numbers
     python benchmarks/bench_pipeline.py --output /tmp/bench.json
 
-Exits non-zero if the modes disagree, or if the batched path falls
-below 0.7x scalar on the trial-heavy workload — a regression
-tripwire, not a vectorization claim: the pipeline's trial-invariant
-precompute serves both modes, so near-parity is the expectation (see
-EXPERIMENTS.md for the history).
+Exits non-zero if the modes disagree or any workload falls below its
+gate. Quick mode shrinks the workloads until fixed costs dominate, so
+its trial-group gates are regression tripwires (1.0x) rather than the
+full-mode 1.5x floor — CI runs the *full* bench for the vectorization
+gate.
 """
 
 from __future__ import annotations
@@ -37,21 +49,32 @@ from repro.defense.dataset import DatasetConfig, build_dataset
 from repro.experiments._emissions import array_split
 from repro.sim.bench import machine_metadata
 from repro.sim.engine import EmissionSpec, ExperimentEngine, TrialGroup
+from repro.sim.pipeline import StageProfile, build_pipeline
 from repro.sim.results import ResultTable
 from repro.sim.spec import get_scenario
 from repro.sim.scenario import VictimDevice
 
 
-def bench_t2_group(quick: bool, seed: int) -> dict:
-    """Scalar-vs-batch timing for the T2 split-array cell."""
-    n_trials = 10 if quick else 50
-    scenario = get_scenario("free_field").build("ok_google", 3.0)
-    group = TrialGroup(
+def _trial_group(scenario_name: str, seed: int, n_trials: int) -> TrialGroup:
+    scenario = get_scenario(scenario_name).build("ok_google", 3.0)
+    return TrialGroup(
         scenario,
         VictimDevice.phone(seed=seed + 1),
         EmissionSpec(array_split, ("ok_google", seed, 32)),
         n_trials,
     )
+
+
+def bench_trial_group(
+    label: str,
+    scenario_name: str,
+    quick: bool,
+    seed: int,
+    min_speedup: float,
+) -> dict:
+    """Scalar-vs-batch timing for one recognition trial-group cell."""
+    n_trials = 10 if quick else 50
+    group = _trial_group(scenario_name, seed, n_trials)
     group.resolve_sources()  # warm the emission cache for both modes
     timings = {}
     outcomes = {}
@@ -67,16 +90,26 @@ def bench_t2_group(quick: bool, seed: int) -> dict:
         for x, y in zip(outcomes[False], outcomes[True])
     )
     return {
-        "workload": f"T2 split array ({n_trials} trials)",
+        "workload": f"{label} ({n_trials} trials)",
         "scalar_s": timings[False],
         "batch_s": timings[True],
         "speedup": timings[False] / timings[True],
         "identical": agree,
+        "min_speedup": min_speedup,
+        "parity_bound": False,
     }
 
 
-def bench_dataset_build(quick: bool, seed: int) -> dict:
-    """Scalar-vs-batch timing for an F8-class defense dataset build."""
+def bench_dataset_build(
+    quick: bool, seed: int, min_speedup: float
+) -> dict:
+    """Scalar-vs-batch timing for an F8-class defense dataset build.
+
+    Diagnostic row: the build is dominated by bitwise-parity DSP (the
+    zero-phase device filters and per-trial noise draws run
+    identically in both modes), so near-parity is the expectation and
+    the gate is a tripwire against pathological regressions only.
+    """
     config = DatasetConfig(
         commands=("ok_google", "alexa") if quick else
         ("ok_google", "alexa", "add_milk"),
@@ -103,7 +136,28 @@ def bench_dataset_build(quick: bool, seed: int) -> dict:
         "identical": bool(
             np.array_equal(features[False], features[True])
         ),
+        "min_speedup": min_speedup,
+        "parity_bound": True,
     }
+
+
+def profile_stages(quick: bool, seed: int) -> StageProfile:
+    """Per-stage wall-time breakdown of the T2 cell, both modes.
+
+    A separate instrumented pass (the timed runs above stay
+    uninstrumented) through the pipeline's profiling hook, so the
+    JSON artifact records *where* each mode spends its time — the
+    first thing to look at when a gate trips.
+    """
+    n_trials = 10 if quick else 50
+    group = _trial_group("free_field", seed, n_trials)
+    pipeline = build_pipeline(group.scenario, group.device)
+    ctx = pipeline.context(group.resolve_sources())
+    profile = StageProfile()
+    for mode in (False, True):
+        rngs = np.random.default_rng(seed).spawn(n_trials)
+        pipeline.run_trials(ctx, rngs, batch=mode, profile=profile)
+    return profile
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -113,8 +167,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="small workloads (CI smoke); same identical-output and "
-        "0.7x-tripwire gates as full mode",
+        help="small workloads (CI smoke); identical-output gates plus "
+        "regression tripwires instead of the full-mode 1.5x floor",
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -124,16 +178,31 @@ def main(argv: list[str] | None = None) -> int:
         "BENCH_pipeline.json)",
     )
     args = parser.parse_args(argv)
+    # Quick mode's 10-trial cells spend most of their wall clock on
+    # fixed per-group costs (emission warm-up, the shared transmit
+    # precompute), so only the full-size workloads carry the 1.5x
+    # vectorization floor.
+    trial_gate = 1.0 if args.quick else 1.5
+    dataset_gate = 0.7 if args.quick else 0.85
     results = [
-        bench_t2_group(args.quick, args.seed),
-        bench_dataset_build(args.quick, args.seed),
+        bench_trial_group(
+            "T2 split array", "free_field", args.quick, args.seed,
+            trial_gate,
+        ),
+        bench_trial_group(
+            "walking attacker", "walking_attacker", args.quick,
+            args.seed, trial_gate,
+        ),
+        bench_dataset_build(args.quick, args.seed, dataset_gate),
     ]
+    profile = profile_stages(args.quick, args.seed)
     record = {
         "benchmark": "trial-pipeline scalar vs batched",
         "quick": args.quick,
         "seed": args.seed,
         "machine": machine_metadata(),
         "results": results,
+        "stages": profile.as_rows(),
     }
     with open(args.output, "w") as handle:
         json.dump(record, handle, indent=2)
@@ -150,25 +219,25 @@ def main(argv: list[str] | None = None) -> int:
             result["speedup"],
         )
     print(table.render())
+    print(profile.render(), file=sys.stderr)
     print(f"wrote {args.output}", file=sys.stderr)
     if not all(result["identical"] for result in results):
         print(
             "FAIL: batched and scalar outputs disagree", file=sys.stderr
         )
         return 1
-    # The pipeline gives transmission amortisation to BOTH modes (the
-    # scalar walk of the 50-trial split-array cell fell from ~24 s to
-    # ~3.4 s when the shared precompute landed), so batch-vs-scalar is
-    # expected to be near parity, not the old 8x. The gate is a
-    # regression tripwire — the batched path must not become
-    # *pathologically* slower — sized to survive noisy CI runners.
-    gated = results[0]["speedup"]
-    if gated < 0.7:
+    failed = [
+        result
+        for result in results
+        if result["speedup"] < result["min_speedup"]
+    ]
+    for result in failed:
         print(
-            f"FAIL: batch much slower than scalar on the trial-heavy "
-            f"workload ({gated:.2f}x)",
+            f"FAIL: {result['workload']} at {result['speedup']:.2f}x, "
+            f"gate {result['min_speedup']:.2f}x",
             file=sys.stderr,
         )
+    if failed:
         return 1
     print(
         "ok: speedups "

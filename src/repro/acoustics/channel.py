@@ -236,17 +236,22 @@ class AcousticChannel:
         rms_pa = spl_to_pressure(self.ambient_noise_spl)
         n = clean.n_samples
         n_draw = int(round(clean.duration * clean.sample_rate))
-        rows = np.empty((len(rngs), n))
+        rows = np.empty((len(rngs), n), dtype=clean.samples.dtype)
         for index, rng in enumerate(rngs):
-            noise = np.zeros(n)
-            noise[:n_draw] = rng.normal(0.0, 1.0, n_draw) * rms_pa
+            draw = rng.normal(0.0, 1.0, n_draw)
+            np.multiply(draw, rms_pa, out=draw)
+            if n_draw == n:
+                noise = draw
+            else:
+                noise = np.zeros(n)
+                noise[:n_draw] = draw
             row = (
                 clean.samples[index]
                 if isinstance(clean, SignalBatch)
                 else clean.samples
             )
-            rows[index] = np.add(row, noise)
-        return SignalBatch(rows, clean.sample_rate, Unit.PASCAL)
+            np.add(row, noise, out=rows[index])
+        return SignalBatch.adopt(rows, clean.sample_rate, Unit.PASCAL)
 
     def _transmit_one(
         self, pressure_at_1m: Signal, source: Position, receiver: Position

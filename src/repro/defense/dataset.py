@@ -38,7 +38,11 @@ import numpy as np
 from repro.attack.array import grid_array
 from repro.attack.attacker import LongRangeAttacker, SingleSpeakerAttacker
 from repro.attack.baselines import AudiblePlaybackAttacker
-from repro.defense.features import FEATURE_NAMES, feature_matrix
+from repro.defense.features import (
+    FEATURE_NAMES,
+    feature_matrix,
+    feature_vector,
+)
 from repro.hardware.devices import (
     amazon_echo_microphone,
     android_phone_microphone,
@@ -223,7 +227,9 @@ def _cell_scenario(
 
 
 def build_dataset(
-    config: DatasetConfig, batch: bool = True
+    config: DatasetConfig,
+    batch: bool = True,
+    precision: str | None = None,
 ) -> LabeledDataset:
     """Synthesise the dataset a :class:`DatasetConfig` describes.
 
@@ -233,9 +239,16 @@ def build_dataset(
     command at :data:`GENUINE_REFERENCE_SPL`; trial variation comes
     from ambient noise, microphone self-noise and the talker-level
     gain. Every (command, distance, class) cell executes through the
-    shared trial pipeline — batched by default (``batch=False`` walks
-    the scalar stage list instead; recordings are bitwise identical,
-    which the experiment-level differential suites check).
+    shared trial pipeline — batched by default. ``batch=False`` walks
+    the scalar stage list instead *and* extracts features one
+    recording at a time, so the flag is an honest fully-scalar versus
+    fully-batched A/B; features and recordings are bitwise identical
+    either way, which the experiment-level differential suites check.
+    ``precision`` selects the pipeline's numeric mode
+    (:func:`repro.sim.pipeline.resolve_precision`): ``"float64"`` is
+    the bitwise-frozen golden default, ``"float32"`` the opt-in
+    fast-math path whose features agree within tolerance rather than
+    bitwise.
     """
     spec = config.resolve_scenario()
     try:
@@ -279,6 +292,7 @@ def build_dataset(
                     capture=levels,
                 ),
                 invariants=invariants,
+                precision=precision,
             )
             genuine_recordings = genuine_pipeline.run_trials(
                 genuine_pipeline.context(genuine_sources),
@@ -304,6 +318,7 @@ def build_dataset(
                 microphone,
                 recognize=False,
                 invariants=invariants,
+                precision=precision,
             )
             attack_recordings = attack_pipeline.run_trials(
                 attack_pipeline.context(attack_sources),
@@ -321,10 +336,22 @@ def build_dataset(
                         "scenario": config.scenario,
                     }
                 )
-    # Feature extraction is deferred to one batched pass over every
-    # recording; equal-length rows share stacked PSDs and envelopes.
+    if batch:
+        # Feature extraction is deferred to one batched pass over
+        # every recording; equal-length rows share stacked PSDs and
+        # envelopes.
+        features = feature_matrix(recordings, subset=names)
+    else:
+        # The scalar A/B stays scalar end to end: one recording per
+        # extraction call, bitwise identical rows to the batched pass.
+        features = np.stack(
+            [
+                feature_vector(recording, subset=names)
+                for recording in recordings
+            ]
+        )
     return LabeledDataset(
-        features=feature_matrix(recordings, subset=names),
+        features=features,
         labels=np.asarray(labels, dtype=int),
         metadata=metadata,
         feature_names=tuple(names),

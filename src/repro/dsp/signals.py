@@ -58,7 +58,9 @@ class Signal:
     ----------
     samples:
         One-dimensional array-like of real samples. Copied and cast to
-        ``float64``.
+        ``float64`` — except ``float32`` input, which is kept as is
+        (the opt-in fast-math path; see
+        :func:`repro.sim.pipeline.build_pipeline`).
     sample_rate:
         Sampling frequency in hertz; must be positive.
     unit:
@@ -80,7 +82,12 @@ class Signal:
         sample_rate: float,
         unit: str = Unit.DIGITAL,
     ) -> None:
-        array = np.asarray(samples, dtype=np.float64)
+        dtype = (
+            np.float32
+            if getattr(samples, "dtype", None) == np.float32
+            else np.float64
+        )
+        array = np.asarray(samples, dtype=dtype)
         if array.ndim != 1:
             raise SignalDomainError(
                 f"Signal requires a 1-D sample array, got shape "
@@ -393,7 +400,8 @@ class SignalBatch:
 
     The container behind the vectorized trial kernel
     (:mod:`repro.sim.batch`): ``samples`` is a two-dimensional
-    ``float64`` array of shape ``(n_signals, n_samples)`` — one trial
+    ``float64`` array (``float32`` input is preserved, for the opt-in
+    fast-math path) of shape ``(n_signals, n_samples)`` — one trial
     (or one source) per row, time along the last axis. Batched DSP
     stages operate on the whole stack with ``axis=-1`` operations, so
     per-row results are bitwise identical to running each row through
@@ -412,7 +420,12 @@ class SignalBatch:
         sample_rate: float,
         unit: str = Unit.DIGITAL,
     ) -> None:
-        array = np.asarray(samples, dtype=np.float64)
+        dtype = (
+            np.float32
+            if getattr(samples, "dtype", None) == np.float32
+            else np.float64
+        )
+        array = np.asarray(samples, dtype=dtype)
         if array.ndim != 2:
             raise SignalDomainError(
                 "SignalBatch requires a 2-D (n_signals, n_samples) "
@@ -434,6 +447,55 @@ class SignalBatch:
         self._samples.flags.writeable = False
         self._sample_rate = float(sample_rate)
         self._unit = Unit.validate(unit)
+
+    @classmethod
+    def adopt(
+        cls,
+        samples: np.ndarray,
+        sample_rate: float,
+        unit: str = Unit.DIGITAL,
+    ) -> "SignalBatch":
+        """Wrap a freshly-allocated array without the defensive copy.
+
+        Identical validation (shape, finiteness, rate) and the same
+        read-only invariant as the constructor, but the array is
+        adopted in place instead of copied. For hot batch kernels that
+        hand over ownership of an array they just computed and hold no
+        other reference to; the caller must not touch ``samples``
+        afterwards. Anything that is not already a contiguous float
+        array of the right dtype falls back to the copying
+        constructor.
+        """
+        if not (
+            isinstance(samples, np.ndarray)
+            and samples.dtype in (np.float64, np.float32)
+            and samples.flags.c_contiguous
+            and samples.base is None
+        ):
+            return cls(samples, sample_rate, unit)
+        batch = cls.__new__(cls)
+        if samples.ndim != 2:
+            raise SignalDomainError(
+                "SignalBatch requires a 2-D (n_signals, n_samples) "
+                f"array, got shape {samples.shape}; wrap a single "
+                "waveform with Signal, or reshape explicitly"
+            )
+        if samples.shape[0] < 1:
+            raise SignalDomainError(
+                "SignalBatch requires at least one row"
+            )
+        if not np.all(np.isfinite(samples)):
+            raise SignalDomainError("SignalBatch samples must be finite")
+        if sample_rate <= 0 or not math.isfinite(sample_rate):
+            raise SampleRateError(
+                f"sample_rate must be a positive finite number, got "
+                f"{sample_rate}"
+            )
+        samples.flags.writeable = False
+        batch._samples = samples
+        batch._sample_rate = float(sample_rate)
+        batch._unit = Unit.validate(unit)
+        return batch
 
     # ------------------------------------------------------------------
     # Accessors
@@ -515,7 +577,7 @@ class SignalBatch:
             raise SignalDomainError(
                 f"n_signals must be >= 1, got {n_signals}"
             )
-        return cls(
+        return cls.adopt(
             np.tile(signal.samples, (n_signals, 1)),
             signal.sample_rate,
             signal.unit,

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from scipy import fft as sp_fft
 
 from repro.dsp import windows as win
 from repro.dsp.signals import Signal
@@ -65,6 +66,22 @@ class PowerSpectrum:
         return float(self.frequencies[int(np.argmax(self.psd))])
 
 
+def _one_sided_correction(power: np.ndarray, n_fft: int) -> np.ndarray:
+    """Double the bins a one-sided spectrum folds together, in place.
+
+    For an even ``n_fft`` the DC and Nyquist bins are unique and every
+    other bin absorbs its negative-frequency twin; for an odd ``n_fft``
+    there is no Nyquist bin, so everything but DC doubles. Shared by
+    :func:`welch_psd_matrix` and :func:`spectrogram` so the two
+    estimators can never disagree on parity handling.
+    """
+    if n_fft % 2 == 0:
+        power[..., 1:-1] *= 2.0
+    else:
+        power[..., 1:] *= 2.0
+    return power
+
+
 def welch_psd_matrix(
     x: np.ndarray,
     sample_rate: float,
@@ -81,7 +98,9 @@ def welch_psd_matrix(
     bitwise identical to the scalar estimate of that row — the
     guarantee the batched defense feature extraction relies on.
     """
-    x = np.asarray(x, dtype=np.float64)
+    x = np.asarray(x)
+    dtype = np.float32 if x.dtype == np.float32 else np.float64
+    x = np.asarray(x, dtype=dtype)
     if x.ndim != 2:
         raise SignalDomainError(
             f"welch_psd_matrix expects a 2-D (n_signals, n_samples) "
@@ -94,26 +113,30 @@ def welch_psd_matrix(
         raise SignalDomainError(f"overlap must be in [0, 1), got {overlap}")
     n_seg = min(segment_length, n_samples)
     step = max(1, int(round(n_seg * (1 - overlap))))
-    w = win.get_window(window, n_seg)
-    scale = 1.0 / (sample_rate * np.sum(np.square(w)))
-    acc = np.zeros((x.shape[0], n_seg // 2 + 1))
-    count = 0
-    for start in range(0, n_samples - n_seg + 1, step):
-        segment = x[..., start : start + n_seg] * w
-        spectrum = np.fft.rfft(segment, axis=-1)
-        acc += np.square(np.abs(spectrum)) * scale
-        count += 1
-    if count == 0:  # signals shorter than one segment: single padded FFT
-        segment = np.zeros((x.shape[0], n_seg))
+    w = win.get_window(window, n_seg).astype(dtype)
+    scale = dtype(
+        1.0 / (sample_rate * np.sum(np.square(w.astype(np.float64))))
+    )
+    if n_samples >= n_seg:
+        # One strided (n_signals, n_segments, n_seg) view over all
+        # Welch positions, windowed and transformed in a single batched
+        # rfft. Summing over the segment axis is a sequential reduction
+        # in numpy (pairwise summation only applies along the fast
+        # axis), so each row stays bitwise identical to the scalar
+        # one-segment-at-a-time accumulation — the guarantee the
+        # streaming extractor and golden traces rely on.
+        view = np.lib.stride_tricks.sliding_window_view(x, n_seg, axis=-1)
+        segments = view[:, ::step, :] * w
+        count = segments.shape[1]
+        power = np.square(np.abs(sp_fft.rfft(segments, axis=-1))) * scale
+        acc = power.sum(axis=1)
+    else:  # signals shorter than one segment: single padded FFT
+        segment = np.zeros((x.shape[0], n_seg), dtype=dtype)
         segment[..., :n_samples] = x
-        spectrum = np.fft.rfft(segment * w, axis=-1)
+        spectrum = sp_fft.rfft(segment * w, axis=-1)
         acc = np.square(np.abs(spectrum)) * scale
         count = 1
-    psd = acc / count
-    # One-sided correction: double everything except DC and Nyquist.
-    psd[..., 1:-1] *= 2.0 if n_seg % 2 == 0 else 1.0
-    if n_seg % 2 == 1:
-        psd[..., 1:] *= 2.0
+    psd = _one_sided_correction(acc / count, n_seg)
     freqs = np.fft.rfftfreq(n_seg, d=1.0 / sample_rate)
     return freqs, psd
 
@@ -205,12 +228,19 @@ class Spectrogram:
     power: np.ndarray
 
     def band_trajectory(self, low_hz: float, high_hz: float) -> np.ndarray:
-        """Per-frame power inside a frequency band (length = n frames)."""
+        """Per-frame power inside a frequency band (length = n frames).
+
+        With fewer than two frequency bins the bin width is undefined
+        and the integral degenerates to zero — the same convention as
+        :attr:`PowerSpectrum.bin_width` and
+        :func:`band_power_matrix`, so single-bin band powers agree
+        across all three paths.
+        """
         mask = (self.frequencies >= low_hz) & (self.frequencies <= high_hz)
         if len(self.frequencies) >= 2:
             bin_width = float(self.frequencies[1] - self.frequencies[0])
         else:
-            bin_width = 1.0
+            bin_width = 0.0
         return np.sum(self.power[mask, :], axis=0) * bin_width
 
 
@@ -231,20 +261,23 @@ def spectrogram(
     step = max(1, int(round(frame_length * (1 - overlap))))
     w = win.get_window(window, frame_length)
     scale = 1.0 / (signal.sample_rate * np.sum(np.square(w)))
-    starts = range(0, signal.n_samples - frame_length + 1, step)
-    frames = []
-    centers = []
-    for start in starts:
-        segment = signal.samples[start : start + frame_length] * w
-        spectrum = np.square(np.abs(np.fft.rfft(segment))) * scale
-        spectrum[1:-1] *= 2.0
-        frames.append(spectrum)
-        centers.append((start + frame_length / 2) / signal.sample_rate)
+    starts = np.arange(
+        0, signal.n_samples - frame_length + 1, step, dtype=np.int64
+    )
+    # All frames in one strided view and one batched rfft; the per-bin
+    # arithmetic is unchanged from the old one-frame-at-a-time loop.
+    view = np.lib.stride_tricks.sliding_window_view(
+        signal.samples, frame_length
+    )
+    frames = view[starts, :] * w
+    power = np.square(np.abs(sp_fft.rfft(frames, axis=-1))) * scale
+    power = _one_sided_correction(power, frame_length)
+    centers = (starts + frame_length / 2) / signal.sample_rate
     freqs = np.fft.rfftfreq(frame_length, d=1.0 / signal.sample_rate)
     return Spectrogram(
-        times=np.asarray(centers),
+        times=centers,
         frequencies=freqs,
-        power=np.asarray(frames).T,
+        power=power.T,
     )
 
 

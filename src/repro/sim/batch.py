@@ -78,6 +78,7 @@ def run_group_batch(
     group,
     rngs: Sequence[np.random.Generator],
     keep_recordings: bool = True,
+    precision: str | None = None,
 ) -> list[TrialOutcome]:
     """Execute one trial group's trials as stacked batches.
 
@@ -94,6 +95,10 @@ def run_group_batch(
     keep_recordings:
         When ``False`` each outcome's ``recording`` is ``None``
         (matching the engine's IPC-saving convention).
+    precision:
+        ``"float64"`` (the golden default), ``"float32"`` (the opt-in
+        fast path) or ``None`` to honour ``REPRO_FAST_MATH`` — passed
+        through to :func:`~repro.sim.pipeline.build_pipeline`.
 
     Returns
     -------
@@ -103,7 +108,9 @@ def run_group_batch(
     rngs = list(rngs)
     if not rngs:
         raise ExperimentError("run_group_batch needs >= 1 trial generator")
-    pipeline = build_pipeline(group.scenario, group.device)
+    pipeline = build_pipeline(
+        group.scenario, group.device, precision=precision
+    )
     support = pipeline.batch_support()
     if not support:
         raise ExperimentError(

@@ -43,7 +43,11 @@ from repro.acoustics.channel import PlacedSource
 from repro.dsp.signals import Signal
 from repro.errors import ExperimentError
 from repro.sim.cache import CacheStats, EmissionCache, stable_key
-from repro.sim.pipeline import TrialOutcome, build_pipeline
+from repro.sim.pipeline import (
+    TrialOutcome,
+    build_pipeline,
+    resolve_precision,
+)
 from repro.sim.scenario import Scenario, VictimDevice
 from repro.speech.commands import synthesize_command
 
@@ -146,7 +150,7 @@ class TrialGroup:
 
 def _run_trial_batch(
     task: tuple[
-        TrialGroup, tuple[np.random.Generator, ...], bool, bool
+        TrialGroup, tuple[np.random.Generator, ...], bool, bool, str
     ],
 ) -> list[TrialOutcome]:
     """Worker: execute one chunk of a group's trials.
@@ -169,8 +173,10 @@ def _run_trial_batch(
     waveform *before* it is pickled back — at 50 trials per cell the
     recordings, not the results, are the dominant IPC cost.
     """
-    group, rngs, keep_recordings, use_batch = task
-    pipeline = build_pipeline(group.scenario, group.device)
+    group, rngs, keep_recordings, use_batch, precision = task
+    pipeline = build_pipeline(
+        group.scenario, group.device, precision=precision
+    )
     ctx = pipeline.context(group.resolve_sources())
     outcomes = pipeline.run_trials(ctx, rngs, batch=use_batch)
     if not keep_recordings:
@@ -283,6 +289,13 @@ class ExperimentEngine:
         identical (the kernel falls back to the scalar path for groups
         it cannot prove equivalent), so this flag changes wall clock,
         never numbers. The CLI exposes it as ``--no-batch``.
+    precision:
+        ``"float64"`` (the default golden mode) or ``"float32"`` (the
+        opt-in fast-math path); ``None`` defers to the
+        ``REPRO_FAST_MATH`` environment variable. Resolved once here —
+        workers receive the resolved string, so a pool whose processes
+        see different environments still computes one way. See
+        :func:`repro.sim.pipeline.resolve_precision`.
 
     The engine owns at most one :class:`ProcessPoolExecutor`, created
     lazily on first parallel use and reused across calls (and across
@@ -291,7 +304,10 @@ class ExperimentEngine:
     """
 
     def __init__(
-        self, jobs: int | None = None, batch: bool = True
+        self,
+        jobs: int | None = None,
+        batch: bool = True,
+        precision: str | None = None,
     ) -> None:
         if jobs is None:
             jobs = os.cpu_count() or 1
@@ -307,6 +323,7 @@ class ExperimentEngine:
             )
         self.jobs = jobs
         self.batch = batch
+        self.precision = resolve_precision(precision)
         self._pool: ProcessPoolExecutor | None = None
 
     # -- lifecycle ----------------------------------------------------
@@ -399,7 +416,13 @@ class ExperimentEngine:
             batches = partition_evenly(trial_rngs, batches_per_group)
             spans.append(len(batches))
             tasks.extend(
-                (group, tuple(batch), keep_recordings, use_batch)
+                (
+                    group,
+                    tuple(batch),
+                    keep_recordings,
+                    use_batch,
+                    self.precision,
+                )
                 for batch in batches
             )
         flat = self.map(_run_trial_batch, tasks)

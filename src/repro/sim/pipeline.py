@@ -44,7 +44,9 @@ registered environment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+import time
+from dataclasses import dataclass, field, replace as dc_replace
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -57,13 +59,17 @@ from repro.hardware.microphone import Microphone
 from repro.hardware.nonlinearity import PolynomialNonlinearity
 from repro.sim.cache import EmissionCache, stable_key
 from repro.sim.scenario import Scenario, VictimDevice
+from repro.speech.recognizer import KeywordRecognizer
 
-#: Trials stacked per batched executor pass. Eight acoustic-rate rows
-#: keep every intermediate in the low tens of MB — large enough to
-#: amortise the per-call overhead of the axis-aware DSP, small enough
-#: that the filter chain's temporaries don't evict each other from
-#: cache.
-CHUNK_TRIALS = 8
+#: Trials stacked per batched executor pass. Sixteen acoustic-rate
+#: rows keep every intermediate in the low tens of MB — large enough
+#: that a 10-trial dataset cell or a 50-trial sweep group pays the
+#: per-chunk fixed costs (filter design, zero-phase initial
+#: conditions, batch construction) a handful of times rather than
+#: per-trial, small enough that the filter chain's temporaries stay
+#: within memory bounds. Row-at-a-time filtering keeps the hot DSP
+#: cache-resident regardless of the stack height.
+CHUNK_TRIALS = 16
 
 #: Transmitted interference beds retained per invariants cache. Real
 #: runs see a handful of (geometry, sample rate) combinations; the
@@ -94,6 +100,86 @@ class BatchSupport:
     @classmethod
     def refused(cls, reason: str) -> "BatchSupport":
         return cls(supported=False, reason=reason)
+
+
+@dataclass
+class StageTiming:
+    """Accumulated wall time of one (mode, stage) pair."""
+
+    seconds: float = 0.0
+    calls: int = 0
+    trials: int = 0
+
+    @property
+    def seconds_per_trial(self) -> float:
+        """Mean wall seconds each trial spent in this stage."""
+        if self.trials == 0:
+            return 0.0
+        return self.seconds / self.trials
+
+
+class StageProfile:
+    """Per-stage wall-time attribution for a pipeline run.
+
+    Pass one to :meth:`TrialPipeline.run_trials` (or
+    :meth:`~TrialPipeline.run_scalar`) and every stage call — scalar
+    or batched — adds its wall time under ``(mode, stage_name)``. The
+    hook is deliberately lightweight: when no profile is attached the
+    executor takes no timestamps at all, so profiling never taxes
+    production runs. One profile may accumulate across many
+    ``run_trials`` calls (the benchmark harness feeds a whole workload
+    through one), and :meth:`render` prints the breakdown the
+    performance docs quote.
+    """
+
+    def __init__(self) -> None:
+        self.timings: dict[tuple[str, str], StageTiming] = {}
+
+    def add(
+        self, mode: str, stage: str, seconds: float, n_trials: int
+    ) -> None:
+        """Record one stage call of ``n_trials`` trials."""
+        timing = self.timings.setdefault((mode, stage), StageTiming())
+        timing.seconds += seconds
+        timing.calls += 1
+        timing.trials += n_trials
+
+    def total_seconds(self, mode: str | None = None) -> float:
+        """Wall seconds across all stages, optionally one mode's."""
+        return sum(
+            timing.seconds
+            for (timing_mode, _), timing in self.timings.items()
+            if mode is None or timing_mode == mode
+        )
+
+    def as_rows(self) -> list[dict]:
+        """JSON-friendly rows, in first-recorded order per mode."""
+        return [
+            {
+                "mode": mode,
+                "stage": stage,
+                "seconds": timing.seconds,
+                "calls": timing.calls,
+                "trials": timing.trials,
+                "seconds_per_trial": timing.seconds_per_trial,
+            }
+            for (mode, stage), timing in self.timings.items()
+        ]
+
+    def render(self) -> str:
+        """A fixed-width table of the recorded breakdown."""
+        lines = [
+            f"{'mode':<8} {'stage':<14} {'seconds':>9} "
+            f"{'calls':>6} {'trials':>7} {'ms/trial':>9}"
+        ]
+        for row in self.as_rows():
+            lines.append(
+                f"{row['mode']:<8} {row['stage']:<14} "
+                f"{row['seconds']:>9.4f} {row['calls']:>6d} "
+                f"{row['trials']:>7d} "
+                f"{1e3 * row['seconds_per_trial']:>9.3f}"
+            )
+        return "\n".join(lines)
 
 
 @dataclass(frozen=True)
@@ -136,6 +222,70 @@ class TrialContext:
 
     clean_attack: Signal
     clean_interference: Signal | None = None
+
+
+#: Recognised ``precision=`` values, in golden-first order.
+_PRECISIONS = ("float64", "float32")
+
+
+def resolve_precision(precision: str | None) -> str:
+    """Normalise a ``precision=`` argument against the environment.
+
+    ``None`` defers to the ``REPRO_FAST_MATH`` environment variable
+    (truthy values select ``"float32"``); anything explicit must be
+    ``"float64"`` (the default golden mode — bitwise-frozen numerics)
+    or ``"float32"`` (the opt-in fast path — same stages, single
+    precision, tolerance-bounded rather than bitwise).
+    """
+    if precision is None:
+        flag = os.environ.get("REPRO_FAST_MATH", "").strip().lower()
+        precision = (
+            "float32" if flag in ("1", "true", "yes", "on") else "float64"
+        )
+    if precision not in _PRECISIONS:
+        raise ExperimentError(
+            f"precision must be one of {_PRECISIONS}, got {precision!r}"
+        )
+    return precision
+
+
+def _cast_value(value: Any, dtype: type) -> Any:
+    """Cast a stage payload's samples to ``dtype``, type-preserving."""
+    if isinstance(value, (Signal, SignalBatch)):
+        if value.samples.dtype != dtype:
+            return value.replace(samples=value.samples.astype(dtype))
+        return value
+    if (
+        isinstance(value, np.ndarray)
+        and np.issubdtype(value.dtype, np.floating)
+        and value.dtype != dtype
+    ):
+        return value.astype(dtype)
+    return value
+
+
+def _restore_float64(value: Any) -> Any:
+    """Return fast-path outputs to float64 at the pipeline boundary.
+
+    Downstream consumers (feature extraction, serialisation, the
+    golden suites' fixtures) are written against float64 arrays; the
+    fast path keeps its reduced precision — the values are unchanged —
+    but hands them back in the default dtype so the mode never leaks
+    type surprises out of the pipeline.
+    """
+    if isinstance(value, TrialOutcome):
+        recording = value.recording
+        if (
+            recording is not None
+            and recording.samples.dtype != np.float64
+        ):
+            return dc_replace(
+                value, recording=_cast_value(recording, np.float64)
+            )
+        return value
+    if isinstance(value, list):
+        return [_restore_float64(entry) for entry in value]
+    return _cast_value(value, np.float64)
 
 
 #: Scalar kernel: (context, value-in, per-trial generator) -> value-out.
@@ -203,6 +353,7 @@ class TrialPipeline:
             Callable[[list[PlacedSource]], TrialContext] | None
         ) = None,
         invariants: EmissionCache | None = None,
+        precision: str | None = None,
     ) -> None:
         stages = tuple(stages)
         if not stages:
@@ -221,6 +372,17 @@ class TrialPipeline:
         #: exposed for cache-accounting tests. ``None`` for synthetic
         #: pipelines without a context builder.
         self.invariants = invariants
+        #: ``"float64"`` (golden mode, the default) or ``"float32"``
+        #: (fast math): see :func:`resolve_precision`. In float32 mode
+        #: the executor casts every stage's payload down before the
+        #: next stage, so the dtype-preserving DSP primitives run
+        #: single-precision end to end, and restores float64 at the
+        #: pipeline boundary. In float64 mode no cast of any kind
+        #: happens — the golden numerics are untouched.
+        self.precision = resolve_precision(precision)
+        self._fast_dtype = (
+            np.float32 if self.precision == "float32" else None
+        )
 
     # -- introspection ------------------------------------------------
 
@@ -255,12 +417,31 @@ class TrialPipeline:
     # -- execution ----------------------------------------------------
 
     def run_scalar(
-        self, ctx: TrialContext, rng: np.random.Generator
+        self,
+        ctx: TrialContext,
+        rng: np.random.Generator,
+        profile: StageProfile | None = None,
     ) -> Any:
-        """One trial through every stage's scalar kernel, in order."""
+        """One trial through every stage's scalar kernel, in order.
+
+        ``profile`` (when given) receives each stage's wall time under
+        mode ``"scalar"``.
+        """
         value: Any = None
         for stage in self.stages:
+            started = time.perf_counter() if profile is not None else 0.0
             value = stage.scalar(ctx, value, rng)
+            if self._fast_dtype is not None:
+                value = _cast_value(value, self._fast_dtype)
+            if profile is not None:
+                profile.add(
+                    "scalar",
+                    stage.name,
+                    time.perf_counter() - started,
+                    1,
+                )
+        if self._fast_dtype is not None:
+            value = _restore_float64(value)
         return value
 
     def run_trials(
@@ -269,6 +450,7 @@ class TrialPipeline:
         rngs: Sequence[np.random.Generator],
         batch: bool = True,
         chunk_trials: int = CHUNK_TRIALS,
+        profile: StageProfile | None = None,
     ) -> list:
         """Every trial's final value, in generator order.
 
@@ -276,7 +458,8 @@ class TrialPipeline:
         generators stream through the batch kernels in bounded chunks;
         otherwise each runs the scalar walk. Outcomes are bitwise
         identical either way — the stage contract, checked by the
-        differential suites.
+        differential suites. ``profile`` (when given) accumulates each
+        stage's wall time under whichever mode actually executed.
         """
         rngs = list(rngs)
         if not rngs:
@@ -288,20 +471,39 @@ class TrialPipeline:
                 f"chunk_trials must be >= 1, got {chunk_trials}"
             )
         if not (batch and self.batch_support()):
-            return [self.run_scalar(ctx, rng) for rng in rngs]
+            return [
+                self.run_scalar(ctx, rng, profile=profile)
+                for rng in rngs
+            ]
         out: list = []
         for start in range(0, len(rngs), chunk_trials):
             chunk = rngs[start : start + chunk_trials]
-            out.extend(self._run_batch_chunk(ctx, chunk))
+            out.extend(self._run_batch_chunk(ctx, chunk, profile))
         return out
 
     def _run_batch_chunk(
-        self, ctx: TrialContext, rngs: list[np.random.Generator]
+        self,
+        ctx: TrialContext,
+        rngs: list[np.random.Generator],
+        profile: StageProfile | None = None,
     ) -> list:
         value: Any = None
         for stage in self.stages:
+            started = time.perf_counter() if profile is not None else 0.0
             value = stage.batch(ctx, value, rngs)
-        return _per_trial_values(value, len(rngs))
+            if self._fast_dtype is not None:
+                value = _cast_value(value, self._fast_dtype)
+            if profile is not None:
+                profile.add(
+                    "batch",
+                    stage.name,
+                    time.perf_counter() - started,
+                    len(rngs),
+                )
+        rows = _per_trial_values(value, len(rngs))
+        if self._fast_dtype is not None:
+            rows = _restore_float64(rows)
+        return rows
 
 
 def _per_trial_values(value: Any, n_trials: int) -> list:
@@ -373,7 +575,7 @@ def _gain_rows(
             rows[index] = (
                 value.samples if gain is None else value.samples * gain
             )
-        return SignalBatch(rows, value.sample_rate, value.unit)
+        return SignalBatch.adopt(rows, value.sample_rate, value.unit)
     rows = np.empty_like(value.samples)
     for index, gain in enumerate(gains):
         rows[index] = (
@@ -381,7 +583,7 @@ def _gain_rows(
             if gain is None
             else value.samples[index] * gain
         )
-    return SignalBatch(rows, value.sample_rate, value.unit)
+    return SignalBatch.adopt(rows, value.sample_rate, value.unit)
 
 
 def motion_stage(scenario: Scenario) -> Stage:
@@ -466,11 +668,8 @@ def interference_stage() -> Stage:
         padded[:, : value.n_samples] = value.samples
         bed_padded = np.zeros(n_total)
         bed_padded[: bed.n_samples] = bed.samples
-        return SignalBatch(
-            np.add(padded, bed_padded[np.newaxis, :]),
-            value.sample_rate,
-            value.unit,
-        )
+        np.add(padded, bed_padded[np.newaxis, :], out=padded)
+        return SignalBatch.adopt(padded, value.sample_rate, value.unit)
 
     return Stage(name="interference", scalar=scalar, batch=batch)
 
@@ -548,8 +747,7 @@ def record_stages(microphone: Microphone) -> list[Stage]:
 def recognize_stage(scenario: Scenario, device: VictimDevice) -> Stage:
     """Run the recogniser and fold the verdict into a TrialOutcome."""
 
-    def outcome(recording: Signal) -> TrialOutcome:
-        result = device.recognizer.recognize(recording)
+    def fold(result, recording: Signal) -> TrialOutcome:
         return TrialOutcome(
             success=result.accepted
             and result.command == scenario.command,
@@ -559,13 +757,21 @@ def recognize_stage(scenario: Scenario, device: VictimDevice) -> Stage:
             recording=recording,
         )
 
+    def outcome(recording: Signal) -> TrialOutcome:
+        return fold(device.recognizer.recognize(recording), recording)
+
     def batch(ctx, recordings: SignalBatch, rngs):
-        # DTW is sequential, but it runs on compact device-rate rows
-        # rather than acoustic-rate waveforms.
-        return [
-            outcome(recordings.row(index))
-            for index in range(recordings.n_signals)
-        ]
+        rows = recordings.signals()
+        if type(device.recognizer) is KeywordRecognizer:
+            # The whole chunk scores through one stacked anti-diagonal
+            # DTW sweep (bitwise identical to per-row recognize); a
+            # subclassed recogniser keeps its overridden recognize()
+            # on the per-row walk below.
+            results = device.recognizer.recognize_batch(rows)
+            return [
+                fold(result, row) for result, row in zip(results, rows)
+            ]
+        return [outcome(row) for row in rows]
 
     return Stage(
         name="recognize",
@@ -584,6 +790,7 @@ def build_pipeline(
     recognize: bool = True,
     gain_stage: Stage | None = None,
     invariants: EmissionCache | None = None,
+    precision: str | None = None,
 ) -> TrialPipeline:
     """Assemble the trial pipeline for a (scenario, device) pair.
 
@@ -617,6 +824,14 @@ def build_pipeline(
         the bed's full physical identity (sources, geometry, weather,
         rate), so sharing is always safe. ``None`` gives the pipeline
         a private bounded cache.
+    precision:
+        ``"float64"`` (the default golden mode — bitwise-frozen
+        numerics) or ``"float32"`` (the opt-in fast path: every stage
+        payload is cast down between stages so the dtype-preserving
+        DSP primitives run single-precision, and outputs return to
+        float64 at the boundary). ``None`` defers to the
+        ``REPRO_FAST_MATH`` environment variable; see
+        :func:`resolve_precision`.
     """
     if isinstance(device, Microphone):
         if recognize:
@@ -685,5 +900,8 @@ def build_pipeline(
         return TrialContext(clean_attack, clean_interference)
 
     return TrialPipeline(
-        stages, context_builder=context, invariants=invariants
+        stages,
+        context_builder=context,
+        invariants=invariants,
+        precision=precision,
     )

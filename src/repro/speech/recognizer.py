@@ -178,6 +178,75 @@ class KeywordRecognizer:
             distances=distances,
         )
 
+    def recognize_batch(
+        self, recordings: list[Signal]
+    ) -> list[RecognitionResult]:
+        """Match a stack of equal-length recordings against every command.
+
+        The batched counterpart of :meth:`recognize` for the vectorized
+        trial kernel. Every (recording, template) pair is scored by one
+        anti-diagonal sweep over a stacked DP tensor
+        (:meth:`_dtw_distance_batch`), instead of one Python-level DTW
+        per pair; entry ``i`` of the result is bitwise identical to
+        ``recognize(recordings[i])`` — same local costs, same step
+        rule, same tie-breaking.
+        """
+        if not self._templates:
+            raise RecognitionError(
+                "no commands enrolled; call enroll() before recognize()"
+            )
+        if not recordings:
+            return []
+        from repro.dsp.resample import resample_array
+
+        # One polyphase resample over the whole stack (rows are bitwise
+        # identical to per-recording resample, including the rates-
+        # already-match short circuit); silence trimming and MFCC
+        # extraction stay per row because trim lengths differ.
+        source_rate = recordings[0].sample_rate
+        if any(r.sample_rate != source_rate for r in recordings):
+            raise RecognitionError(
+                "recognize_batch expects one common sample rate"
+            )
+        stack = np.stack([r.samples for r in recordings])
+        if abs(self.CANONICAL_RATE_HZ - source_rate) < 1e-9:
+            canonical, rate = stack, source_rate
+        else:
+            canonical = resample_array(
+                stack, source_rate, self.CANONICAL_RATE_HZ
+            )
+            rate = self.CANONICAL_RATE_HZ
+        features = []
+        for row in canonical:
+            signal = recordings[0].replace(samples=row, sample_rate=rate)
+            features.append(self._extractor.extract(trim_silence(signal)))
+        pairs = []
+        for trial_features in features:
+            for templates in self._templates.values():
+                for template in templates:
+                    pairs.append((trial_features, template))
+        distances_flat = self._dtw_distance_batch(pairs)
+        results = []
+        index = 0
+        for _ in features:
+            distances = {}
+            for command, templates in self._templates.items():
+                distances[command] = min(
+                    distances_flat[index : index + len(templates)]
+                )
+                index += len(templates)
+            best_command = min(distances, key=distances.get)
+            best_distance = distances[best_command]
+            results.append(
+                RecognitionResult(
+                    accepted=best_distance <= self.acceptance_threshold,
+                    command=best_command,
+                    distance=best_distance,
+                    distances=distances,
+                )
+            )
+        return results
+
     def recognizes_as(self, recording: Signal, command: str) -> bool:
         """True if the recording is accepted *and* matches ``command``.
 
@@ -197,6 +266,84 @@ class KeywordRecognizer:
         canonical = resample(recording, self.CANONICAL_RATE_HZ)
         trimmed = trim_silence(canonical)
         return self._extractor.extract(trimmed)
+
+    def _dtw_distance_batch(
+        self, pairs: list[tuple[np.ndarray, np.ndarray]]
+    ) -> list[float]:
+        """Banded DTW over many (query, template) pairs at once.
+
+        All DP tables are padded to a common shape and swept along
+        anti-diagonals: every cell on a diagonal depends only on the
+        two previous diagonals, so each step is one vectorised
+        three-way minimum over a ``(n_pairs, diagonal)`` slab. The
+        per-cell arithmetic — Euclidean local cost, ``min`` of the
+        three predecessors, out-of-band cells pinned at infinity — is
+        exactly :meth:`_dtw_distance`'s, so each returned value is
+        bitwise identical to the scalar score of that pair.
+        """
+        n_pairs = len(pairs)
+        ns = np.empty(n_pairs, dtype=np.int64)
+        ms = np.empty(n_pairs, dtype=np.int64)
+        bands = np.empty(n_pairs, dtype=np.int64)
+        for k, (a, b) in enumerate(pairs):
+            n, m = a.shape[0], b.shape[0]
+            if n == 0 or m == 0:
+                raise RecognitionError(
+                    "cannot DTW-match empty feature matrices"
+                )
+            ns[k], ms[k] = n, m
+            bands[k] = max(
+                int(self.band_fraction * max(n, m)), abs(n - m) + 1
+            )
+        n_max, m_max = int(ns.max()), int(ms.max())
+        band_max = int(bands.max())
+        n_coeffs = pairs[0][0].shape[1]
+        a_pad = np.zeros((n_pairs, n_max, n_coeffs))
+        b_pad = np.zeros((n_pairs, m_max, n_coeffs))
+        for k, (a, b) in enumerate(pairs):
+            a_pad[k, : a.shape[0]] = a
+            b_pad[k, : b.shape[0]] = b
+        inf = np.inf
+        cost = np.full((n_pairs, n_max + 1, m_max + 1), inf)
+        cost[:, 0, 0] = 0.0
+        ns_col = ns[:, np.newaxis]
+        ms_col = ms[:, np.newaxis]
+        bands_col = bands[:, np.newaxis]
+        for diag in range(2, n_max + m_max + 1):
+            # Cells on the anti-diagonal restricted to the widest
+            # band's corridor (|i - j| <= band_max); everything outside
+            # stays at infinity, exactly like the scalar sweep, and the
+            # local costs are only ever computed inside the corridor.
+            i_lo = max(1, diag - m_max, (diag - band_max + 1) // 2)
+            i_hi = min(n_max, diag - 1, (diag + band_max) // 2)
+            if i_lo > i_hi:
+                continue
+            i = np.arange(i_lo, i_hi + 1)
+            j = diag - i
+            diffs = a_pad[:, i - 1, :] - b_pad[:, j - 1, :]
+            local = np.sqrt(np.sum(diffs * diffs, axis=-1))
+            step = np.minimum(
+                np.minimum(cost[:, i - 1, j - 1], cost[:, i - 1, j]),
+                cost[:, i, j - 1],
+            )
+            in_band = (
+                (i <= ns_col)
+                & (j <= ms_col)
+                & (j >= i - bands_col)
+                & (j <= i + bands_col)
+            )
+            cost[:, i, j] = np.where(in_band, local + step, inf)
+        distances = cost[np.arange(n_pairs), ns, ms]
+        out = []
+        for k, distance in enumerate(distances):
+            if not np.isfinite(distance):
+                raise RecognitionError(
+                    "DTW band too narrow for the length mismatch "
+                    f"between sequences ({int(ns[k])} vs {int(ms[k])} "
+                    "frames)"
+                )
+            out.append(float(distance / (int(ns[k]) + int(ms[k]))))
+        return out
 
     def _dtw_distance(self, a: np.ndarray, b: np.ndarray) -> float:
         """Band-constrained DTW, normalised by path-independent length.

@@ -247,3 +247,65 @@ class TestSignalBatchProperties:
         assert np.array_equal(
             mix([signal, quiet]).samples, signal.samples
         )
+
+
+class TestSignalBatchAdopt:
+    """The no-copy constructor keeps every container invariant."""
+
+    def _fresh(self):
+        return np.zeros((2, 8), dtype=np.float64)
+
+    def test_adopts_conforming_array_without_copy(self):
+        from repro.dsp.signals import SignalBatch
+
+        arr = self._fresh()
+        batch = SignalBatch.adopt(arr, 8000.0)
+        assert batch.samples is arr
+
+    def test_result_is_read_only(self):
+        from repro.dsp.signals import SignalBatch
+
+        batch = SignalBatch.adopt(self._fresh(), 8000.0)
+        with pytest.raises(ValueError):
+            batch.samples[0, 0] = 1.0
+
+    def test_preserves_float32(self):
+        from repro.dsp.signals import SignalBatch
+
+        arr = np.zeros((2, 8), dtype=np.float32)
+        batch = SignalBatch.adopt(arr, 8000.0)
+        assert batch.samples is arr
+        assert batch.samples.dtype == np.float32
+
+    def test_falls_back_to_copy_for_views(self):
+        from repro.dsp.signals import SignalBatch
+
+        backing = np.zeros((4, 8), dtype=np.float64)
+        view = backing[:2]
+        batch = SignalBatch.adopt(view, 8000.0)
+        assert batch.samples is not view
+        backing[0, 0] = 9.0  # mutating the source must not leak in
+        assert batch.samples[0, 0] == 0.0
+
+    def test_falls_back_to_copy_for_lists_and_dtypes(self):
+        from repro.dsp.signals import SignalBatch
+
+        from_list = SignalBatch.adopt([[0.0, 1.0]], 8000.0)
+        assert isinstance(from_list.samples, np.ndarray)
+        ints = np.zeros((2, 4), dtype=np.int32)
+        from_ints = SignalBatch.adopt(ints, 8000.0)
+        assert from_ints.samples.dtype == np.float64
+
+    def test_same_validation_as_constructor(self):
+        from repro.dsp.signals import SignalBatch
+
+        with pytest.raises(SignalDomainError):
+            SignalBatch.adopt(np.zeros(8), 8000.0)
+        with pytest.raises(SignalDomainError):
+            SignalBatch.adopt(np.zeros((0, 8)), 8000.0)
+        bad = self._fresh()
+        bad[1, 3] = np.inf
+        with pytest.raises(SignalDomainError):
+            SignalBatch.adopt(bad, 8000.0)
+        with pytest.raises(SampleRateError):
+            SignalBatch.adopt(self._fresh(), 0.0)

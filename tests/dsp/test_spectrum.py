@@ -103,3 +103,79 @@ class TestConvenience:
     def test_dominant_frequency(self):
         s = multi_tone([(100.0, 0.2), (2000.0, 1.0)], 1.0, 16000.0)
         assert dominant_frequency(s) == pytest.approx(2000.0, abs=10)
+
+
+class TestOneSidedParity:
+    """Even- and odd-length FFTs fold negative frequencies correctly.
+
+    An odd FFT has no Nyquist bin, so everything but DC doubles; an
+    even FFT keeps DC *and* Nyquist single. Getting either case wrong
+    shows up as a Parseval violation, so the checks here are energy
+    conservation at odd segment and frame lengths.
+    """
+
+    def test_correction_even_keeps_dc_and_nyquist_single(self):
+        from repro.dsp.spectrum import _one_sided_correction
+
+        power = np.ones(5)
+        out = _one_sided_correction(power, n_fft=8)
+        assert np.array_equal(out, [1.0, 2.0, 2.0, 2.0, 1.0])
+
+    def test_correction_odd_doubles_all_but_dc(self):
+        from repro.dsp.spectrum import _one_sided_correction
+
+        power = np.ones(5)
+        out = _one_sided_correction(power, n_fft=9)
+        assert np.array_equal(out, [1.0, 2.0, 2.0, 2.0, 2.0])
+
+    def test_parseval_odd_segment_length(self, rng):
+        s = white_noise(2.0, 8000.0, rng, rms_level=1.0)
+        psd = welch_psd(s, segment_length=1001)
+        assert psd.total_power() == pytest.approx(1.0, rel=0.1)
+
+    def test_parseval_odd_full_signal(self, rng):
+        from repro.dsp.signals import Signal
+
+        s = white_noise(1.0, 8000.0, rng, rms_level=1.0)
+        odd = Signal(s.samples[:7999], s.sample_rate, s.unit)
+        assert odd.n_samples % 2 == 1
+        # One rectangular-windowed segment covering the whole signal:
+        # Parseval is exact, so a wrong odd-length fold (double-counted
+        # or dropped top bin) cannot hide in estimator variance.
+        psd = power_spectrum(odd, window="rectangular")
+        assert psd.total_power() == pytest.approx(
+            float(np.mean(odd.samples**2)), rel=1e-9
+        )
+
+    def test_spectrogram_odd_frame_conserves_energy(self, rng):
+        s = white_noise(2.0, 8000.0, rng, rms_level=1.0)
+        spec = spectrogram(s, frame_length=513, overlap=0.5)
+        bin_width = float(spec.frequencies[1] - spec.frequencies[0])
+        per_frame = np.sum(spec.power, axis=0) * bin_width
+        assert np.mean(per_frame) == pytest.approx(1.0, rel=0.1)
+
+
+class TestDegenerateBinWidth:
+    """Single-bin spectra integrate to zero, consistently everywhere."""
+
+    def test_power_spectrum_bin_width_zero(self):
+        from repro.dsp.spectrum import PowerSpectrum
+
+        single = PowerSpectrum(
+            frequencies=np.array([0.0]), psd=np.array([3.0])
+        )
+        assert single.bin_width == 0.0
+        assert single.total_power() == 0.0
+        assert single.band_power(0.0, 10.0) == 0.0
+
+    def test_band_trajectory_single_bin_is_zero(self):
+        from repro.dsp.spectrum import Spectrogram
+
+        spec = Spectrogram(
+            times=np.array([0.0, 0.5]),
+            frequencies=np.array([0.0]),
+            power=np.ones((1, 2)),
+        )
+        assert np.array_equal(
+            spec.band_trajectory(0.0, 10.0), [0.0, 0.0]
+        )

@@ -1,0 +1,59 @@
+"""The float64 golden mode is bitwise-frozen against history.
+
+``tests/golden/float64_baseline.json`` carries sha256 digests captured
+*before* the batch-kernel performance work (commit ``0b458b1``). These
+tests recompute the same dataset build and T2 trial-group run on
+today's code, in the default float64 mode, and compare digests — so
+the optimization contract ("faster, not different") is checked against
+a fixed historical reference rather than merely batch-vs-scalar.
+
+If a digest mismatch is *intentional* (a reviewed numerical change),
+regenerate with ``PYTHONPATH=src python
+tests/golden/regen_float64_baseline.py`` and say so in the PR.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+BASELINE_PATH = GOLDEN_DIR / "float64_baseline.json"
+
+# The regen script is the single source of truth for the digest
+# recipes; the tests load it by path (tests/ is not a package) so the
+# two can never disagree about what the baseline freezes.
+_spec = importlib.util.spec_from_file_location(
+    "regen_float64_baseline",
+    GOLDEN_DIR / "regen_float64_baseline.py",
+)
+_regen = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_regen)
+dataset_digests = _regen.dataset_digests
+t2_digest = _regen.t2_digest
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return json.loads(BASELINE_PATH.read_text())
+
+
+def test_dataset_digests_match_baseline(baseline):
+    features, labels = dataset_digests(baseline["dataset_config"])
+    assert features == baseline["features_sha256"], (
+        "float64 dataset features drifted from the pre-optimization "
+        "baseline; if intentional, rerun "
+        "tests/golden/regen_float64_baseline.py"
+    )
+    assert labels == baseline["labels_sha256"]
+
+
+def test_t2_outcomes_match_baseline(baseline):
+    assert t2_digest(baseline["t2_group"]) == (
+        baseline["t2_outcomes_sha256"]
+    ), (
+        "float64 T2 outcomes drifted from the pre-optimization "
+        "baseline; if intentional, rerun "
+        "tests/golden/regen_float64_baseline.py"
+    )
