@@ -17,6 +17,7 @@ produce a silently-wrong filter.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 from scipy import signal as sp_signal
@@ -79,6 +80,34 @@ def _min_length(order: int) -> int:
     # filtfilt needs a signal longer than its padding; a generous lower
     # bound avoids cryptic scipy errors on near-empty inputs.
     return 3 * (2 * order + 1)
+
+
+@lru_cache(maxsize=128)
+def _butter_sos_design(
+    order: int, edges: tuple[float, ...], btype: str, fs: float
+) -> np.ndarray:
+    """One Butterworth SOS design per distinct specification.
+
+    ``scipy.signal.butter`` re-runs its analog-prototype, bilinear
+    and zpk-pairing linear algebra on every call (~10 ms for the
+    order-8 band filters); the streaming guard designs the *same* two
+    band-pass filters at every utterance close, so the design is
+    memoised. ``butter`` is deterministic for identical arguments, so
+    a cache hit is bitwise identical to a fresh design.
+    """
+    critical = list(edges) if len(edges) > 1 else edges[0]
+    return sp_signal.butter(
+        order, critical, btype=btype, fs=fs, output="sos"
+    )
+
+
+def butter_sos(
+    order: int, edges: tuple[float, ...], btype: str, fs: float
+) -> np.ndarray:
+    """A fresh copy of the cached Butterworth SOS design."""
+    # Copy per call: the design work is the expensive part, and a
+    # private copy means no caller can corrupt the cached array.
+    return _butter_sos_design(order, tuple(edges), btype, float(fs)).copy()
 
 
 def sos_filtfilt_array(x: np.ndarray, sos: np.ndarray) -> np.ndarray:
@@ -150,9 +179,7 @@ def low_pass_array(
 ) -> np.ndarray:
     """Zero-phase Butterworth low-pass along the last axis."""
     _check_edge(cutoff_hz, sample_rate, "cutoff_hz")
-    sos = sp_signal.butter(
-        order, cutoff_hz, btype="lowpass", fs=sample_rate, output="sos"
-    )
+    sos = butter_sos(order, (cutoff_hz,), "lowpass", sample_rate)
     return sos_filtfilt_array(x, sos)
 
 
@@ -161,9 +188,7 @@ def high_pass_array(
 ) -> np.ndarray:
     """Zero-phase Butterworth high-pass along the last axis."""
     _check_edge(cutoff_hz, sample_rate, "cutoff_hz")
-    sos = sp_signal.butter(
-        order, cutoff_hz, btype="highpass", fs=sample_rate, output="sos"
-    )
+    sos = butter_sos(order, (cutoff_hz,), "highpass", sample_rate)
     return sos_filtfilt_array(x, sos)
 
 
@@ -176,13 +201,7 @@ def band_pass_array(
 ) -> np.ndarray:
     """Zero-phase Butterworth band-pass along the last axis."""
     _check_band(low_hz, high_hz, sample_rate)
-    sos = sp_signal.butter(
-        order,
-        [low_hz, high_hz],
-        btype="bandpass",
-        fs=sample_rate,
-        output="sos",
-    )
+    sos = butter_sos(order, (low_hz, high_hz), "bandpass", sample_rate)
     return sos_filtfilt_array(x, sos)
 
 
@@ -229,12 +248,8 @@ def band_stop(
 ) -> Signal:
     """Zero-phase Butterworth band-stop (notch) filter."""
     _check_band(low_hz, high_hz, signal.sample_rate)
-    sos = sp_signal.butter(
-        order,
-        [low_hz, high_hz],
-        btype="bandstop",
-        fs=signal.sample_rate,
-        output="sos",
+    sos = butter_sos(
+        order, (low_hz, high_hz), "bandstop", signal.sample_rate
     )
     return _apply_sos(signal, sos)
 

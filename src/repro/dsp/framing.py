@@ -113,3 +113,50 @@ def frame_rms(
     """
     frames = sliding_frames(samples, frame_len, hop)
     return np.sqrt(np.mean(np.square(frames), axis=1))
+
+
+def sliding_frames_matrix(
+    samples: np.ndarray, frame_len: int, hop: int
+) -> np.ndarray:
+    """The ``(n_rows, n_frames, frame_len)`` frame view of a stack.
+
+    Row ``i`` of the result is exactly ``sliding_frames(samples[i])``
+    — the same strided view, taken along the last axis — so per-frame
+    reductions over a whole stream batch are bitwise identical to the
+    per-row calls they replace.
+    """
+    samples = np.asarray(samples)
+    if samples.ndim != 2:
+        raise SignalDomainError(
+            f"sliding_frames_matrix expects a 2-D (n_rows, n_samples) "
+            f"stack, got shape {samples.shape}"
+        )
+    if frame_len <= 0 or hop <= 0:
+        raise SignalDomainError(
+            f"frame_len and hop must be positive, got {frame_len} "
+            f"and {hop}"
+        )
+    if samples.shape[-1] < frame_len:
+        raise SignalDomainError(
+            f"rows ({samples.shape[-1]} samples) shorter than one "
+            f"frame ({frame_len})"
+        )
+    return np.lib.stride_tricks.sliding_window_view(
+        samples, frame_len, axis=-1
+    )[:, ::hop]
+
+
+def frame_rms_matrix(
+    samples: np.ndarray, frame_len: int, hop: int
+) -> np.ndarray:
+    """Per-frame RMS energies of every row of a sample stack.
+
+    The ``(n_rows, n_frames)`` counterpart of :func:`frame_rms`: one
+    ``sqrt(mean(square))`` reduction over the strided frame view of
+    the whole stack. Each row is bitwise identical to
+    ``frame_rms(samples[i], ...)`` — the per-frame pairwise summation
+    is unchanged by the leading batch axis — which is what lets the
+    fleet kernel compute every stream's frame energies in one op.
+    """
+    frames = sliding_frames_matrix(samples, frame_len, hop)
+    return np.sqrt(np.mean(np.square(frames), axis=-1))

@@ -98,6 +98,14 @@ def build_parser() -> argparse.ArgumentParser:
         "throughput lines go to stderr",
     )
     parser.add_argument(
+        "--streams",
+        type=int,
+        default=None,
+        help="fleet size override for the streaming fleet (S1); "
+        "the fleet digest stays bitwise identical across shard "
+        "counts and kernel paths at any size",
+    )
+    parser.add_argument(
         "--scenario",
         default="free_field",
         help="environment to run in (default: free_field): a "
@@ -168,6 +176,12 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 2
+        if args.streams is not None and args.streams < 1:
+            print(
+                f"error: streams must be >= 1, got {args.streams}",
+                file=sys.stderr,
+            )
+            return 2
         for name in names:
             module = ALL_EXPERIMENTS[name]
             started = time.time()
@@ -181,6 +195,12 @@ def main(argv: list[str] | None = None) -> int:
             # flag is a no-op for the offline tables.
             if "shards" in inspect.signature(module.run).parameters:
                 kwargs["shards"] = args.shards
+            if (
+                args.streams is not None
+                and "streams"
+                in inspect.signature(module.run).parameters
+            ):
+                kwargs["streams"] = args.streams
             try:
                 table = module.run(**kwargs)
             except ReproError as error:

@@ -161,20 +161,25 @@ def run(
     engine: ExperimentEngine | None = None,
     scenario: str = "free_field",
     shards: int = 1,
+    streams: int | None = None,
 ) -> ResultTable:
     """Parity, dispositions and stream-time latency of the online guard.
 
     ``shards`` routes the fleet through the process-sharded driver
-    (:class:`~repro.stream.shard.ShardedFleetSimulator`). The rendered
+    (:class:`~repro.stream.shard.ShardedFleetSimulator`). The engine's
+    batch flag selects the fleet's structure-of-arrays kernel
+    (``--no-batch`` streams every device through the scalar per-stream
+    guard instead). ``streams`` overrides the fleet size. The rendered
     table — dispositions, latencies and the fleet digest row — is
-    byte-identical for every value (the CI shard-determinism job diffs
-    ``--shards 1/2/4`` stdout); wall-clock figures
+    byte-identical for every shard count *and* both kernel paths at
+    any fleet size (the CI shard-determinism job diffs ``--shards
+    1/2/4`` and ``--no-batch`` stdout); wall-clock figures
     (streams/core/second, per-shard balance) go to stderr, like the
     CLI's timing lines.
     """
     spec = get_scenario(scenario)
     chunk_ms = (10, 50, 250) if quick else (5, 10, 50, 250)
-    n_streams = 8 if quick else 32
+    n_streams = (8 if quick else 32) if streams is None else streams
     table = ResultTable(
         title=(
             "S1: streaming guard — chunked online vs offline"
@@ -217,6 +222,7 @@ def run(
             seed=seed + 2,
             workers=4,
             shards=shards,
+            vectorized=eng.batch,
         )
         if shards == 1:
             report = FleetSimulator(detector, fleet_config).run()

@@ -247,6 +247,64 @@ class KeywordRecognizer:
             )
         return results
 
+    def recognize_many(
+        self, recordings: list[Signal], max_pairs: int = 2048
+    ) -> list[RecognitionResult]:
+        """Match many recordings of *any* lengths, batched by slab.
+
+        :meth:`recognize_batch` needs one common length (it stacks the
+        waveforms for a shared resample); the streaming kernel's
+        utterances close at arbitrary boundaries, so here each
+        recording is featurised individually (the exact
+        :meth:`recognize` front-end) and only the DTW — the dominant
+        cost — is batched. Pairs are swept in slabs of at most
+        ``max_pairs`` to bound the padded feature stacks' memory; slab
+        composition cannot change any score because every pair's DP
+        table is masked to its own band (padding cells stay at
+        infinity), so entry ``i`` is bitwise ``recognize(recordings[i])``.
+        """
+        if not self._templates:
+            raise RecognitionError(
+                "no commands enrolled; call enroll() before recognize()"
+            )
+        if not recordings:
+            return []
+        if max_pairs < 1:
+            raise RecognitionError(
+                f"max_pairs must be >= 1, got {max_pairs}"
+            )
+        n_templates = sum(len(t) for t in self._templates.values())
+        per_slab = max(1, max_pairs // n_templates)
+        features = [self._featurize(r) for r in recordings]
+        results: list[RecognitionResult] = []
+        for lo in range(0, len(features), per_slab):
+            chunk = features[lo : lo + per_slab]
+            pairs = []
+            for trial_features in chunk:
+                for templates in self._templates.values():
+                    for template in templates:
+                        pairs.append((trial_features, template))
+            distances_flat = self._dtw_distance_batch(pairs)
+            index = 0
+            for _ in chunk:
+                distances = {}
+                for command, templates in self._templates.items():
+                    distances[command] = min(
+                        distances_flat[index : index + len(templates)]
+                    )
+                    index += len(templates)
+                best_command = min(distances, key=distances.get)
+                best_distance = distances[best_command]
+                results.append(
+                    RecognitionResult(
+                        accepted=best_distance <= self.acceptance_threshold,
+                        command=best_command,
+                        distance=best_distance,
+                        distances=distances,
+                    )
+                )
+        return results
+
     def recognizes_as(self, recording: Signal, command: str) -> bool:
         """True if the recording is accepted *and* matches ``command``.
 
@@ -274,11 +332,17 @@ class KeywordRecognizer:
 
         All DP tables are padded to a common shape and swept along
         anti-diagonals: every cell on a diagonal depends only on the
-        two previous diagonals, so each step is one vectorised
-        three-way minimum over a ``(n_pairs, diagonal)`` slab. The
-        per-cell arithmetic — Euclidean local cost, ``min`` of the
-        three predecessors, out-of-band cells pinned at infinity — is
-        exactly :meth:`_dtw_distance`'s, so each returned value is
+        two previous diagonals, so the sweep keeps just three rolling
+        ``(n_pairs, n_max + 1)`` diagonal buffers (no full DP tensor)
+        and each step is one vectorised three-way minimum. Because an
+        anti-diagonal visits contiguous ranges of query and template
+        frames, the local-cost operands are plain (reversed) slices of
+        the padded feature stacks — no gather copies anywhere in the
+        loop. The per-cell arithmetic — Euclidean local cost, ``min``
+        of the three predecessors, out-of-band cells pinned at
+        infinity — is exactly :meth:`_dtw_distance`'s (the subtraction
+        writes a fresh contiguous temporary, so the coefficient-axis
+        reduction order is unchanged), so each returned value is
         bitwise identical to the scalar score of that pair.
         """
         n_pairs = len(pairs)
@@ -304,11 +368,20 @@ class KeywordRecognizer:
             a_pad[k, : a.shape[0]] = a
             b_pad[k, : b.shape[0]] = b
         inf = np.inf
-        cost = np.full((n_pairs, n_max + 1, m_max + 1), inf)
-        cost[:, 0, 0] = 0.0
+        # Rolling diagonal buffers, indexed by i: prev2 holds diagonal
+        # d - 2, prev holds d - 1, cur is being filled. Diagonal 0 is
+        # the single cell (0, 0) = 0; diagonal 1 is entirely infinite
+        # (the scalar table's first row and column), so prev starts as
+        # all-inf.
+        prev2 = np.full((n_pairs, n_max + 1), inf)
+        prev = np.full((n_pairs, n_max + 1), inf)
+        cur = np.empty((n_pairs, n_max + 1))
+        prev2[:, 0] = 0.0
         ns_col = ns[:, np.newaxis]
         ms_col = ms[:, np.newaxis]
         bands_col = bands[:, np.newaxis]
+        end_diag = ns + ms
+        distances = np.empty(n_pairs)
         for diag in range(2, n_max + m_max + 1):
             # Cells on the anti-diagonal restricted to the widest
             # band's corridor (|i - j| <= band_max); everything outside
@@ -316,24 +389,42 @@ class KeywordRecognizer:
             # local costs are only ever computed inside the corridor.
             i_lo = max(1, diag - m_max, (diag - band_max + 1) // 2)
             i_hi = min(n_max, diag - 1, (diag + band_max) // 2)
-            if i_lo > i_hi:
-                continue
-            i = np.arange(i_lo, i_hi + 1)
-            j = diag - i
-            diffs = a_pad[:, i - 1, :] - b_pad[:, j - 1, :]
-            local = np.sqrt(np.sum(diffs * diffs, axis=-1))
-            step = np.minimum(
-                np.minimum(cost[:, i - 1, j - 1], cost[:, i - 1, j]),
-                cost[:, i, j - 1],
-            )
-            in_band = (
-                (i <= ns_col)
-                & (j <= ms_col)
-                & (j >= i - bands_col)
-                & (j <= i + bands_col)
-            )
-            cost[:, i, j] = np.where(in_band, local + step, inf)
-        distances = cost[np.arange(n_pairs), ns, ms]
+            cur[:] = inf
+            if i_lo <= i_hi:
+                i = np.arange(i_lo, i_hi + 1)
+                j = diag - i
+                # As i ascends along the diagonal, the query frame
+                # index i - 1 ascends and the template frame index
+                # j - 1 descends — both contiguously, so the operands
+                # are views and the subtraction is the only copy.
+                diffs = (
+                    a_pad[:, i_lo - 1 : i_hi, :]
+                    - b_pad[:, diag - i_hi - 1 : diag - i_lo, :][:, ::-1, :]
+                )
+                np.multiply(diffs, diffs, out=diffs)
+                local = np.sqrt(np.sum(diffs, axis=-1))
+                step = np.minimum(
+                    np.minimum(
+                        prev2[:, i_lo - 1 : i_hi],
+                        prev[:, i_lo - 1 : i_hi],
+                    ),
+                    prev[:, i_lo : i_hi + 1],
+                )
+                in_band = (
+                    (i <= ns_col)
+                    & (j <= ms_col)
+                    & (j >= i - bands_col)
+                    & (j <= i + bands_col)
+                )
+                cur[:, i_lo : i_hi + 1] = np.where(
+                    in_band, local + step, inf
+                )
+            # A pair's score lives at cell (n, m) on diagonal n + m;
+            # harvest it before the buffer rotates away.
+            done = np.flatnonzero(end_diag == diag)
+            if done.size:
+                distances[done] = cur[done, ns[done]]
+            prev2, prev, cur = prev, cur, prev2
         out = []
         for k, distance in enumerate(distances):
             if not np.isfinite(distance):

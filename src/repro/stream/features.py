@@ -49,6 +49,24 @@ from repro.dsp.spectrum import welch_psd_matrix
 from repro.errors import StreamError
 
 
+def welch_segment_psd(
+    segments: np.ndarray, window_values: np.ndarray, scale: float
+) -> np.ndarray:
+    """Per-segment scaled periodograms of a ``(k, n_seg)`` stack.
+
+    The per-segment arithmetic of :meth:`WelchAccumulator.advance` —
+    window, rfft, squared magnitude, density scale — as one batched
+    op. ``np.fft.rfft`` computes each row of a 2-D input with the
+    same plan as a single-row transform, so row ``j`` is bitwise the
+    scalar accumulator's contribution for that segment; the fleet
+    kernel exploits this by gathering every due segment across a whole
+    stream group into one stack and folding the rows back into each
+    stream's accumulator in order.
+    """
+    spectrum = np.fft.rfft(segments * window_values, axis=-1)
+    return np.square(np.abs(spectrum)) * scale
+
+
 class WelchAccumulator:
     """Online Welch PSD, bitwise-matched to the offline estimator.
 
@@ -96,6 +114,46 @@ class WelchAccumulator:
         """Segments folded into the running estimate so far."""
         return self._count
 
+    @property
+    def next_start(self) -> int:
+        """Start offset of the next segment to be accumulated."""
+        return self._next_start
+
+    @property
+    def window_values(self) -> np.ndarray:
+        """The window applied to every segment (do not mutate)."""
+        return self._w
+
+    @property
+    def scale(self) -> float:
+        """The density scale applied to every periodogram."""
+        return float(self._scale)
+
+    def due_starts(self, committed: int) -> list[int]:
+        """Start offsets of every whole segment below ``committed``
+        not yet accumulated — what :meth:`advance` would consume, in
+        order, without consuming them."""
+        n_seg = self.segment_length
+        starts: list[int] = []
+        start = self._next_start
+        while start + n_seg <= committed:
+            starts.append(start)
+            start += self.step
+        return starts
+
+    def fold(self, segment_psd: np.ndarray) -> None:
+        """Fold one externally-computed segment periodogram.
+
+        ``segment_psd`` must be :func:`welch_segment_psd` of the
+        segment at :attr:`next_start` — the kernel batches the FFTs
+        across streams and hands each accumulator its rows back in
+        segment order, making this the exact addition :meth:`advance`
+        would have performed.
+        """
+        self._acc += segment_psd
+        self._count += 1
+        self._next_start += self.step
+
     def advance(self, buffer: np.ndarray, committed: int) -> None:
         """Accumulate every whole segment below ``committed``.
 
@@ -112,11 +170,8 @@ class WelchAccumulator:
         n_seg = self.segment_length
         while self._next_start + n_seg <= committed:
             start = self._next_start
-            segment = buffer[np.newaxis, start : start + n_seg] * self._w
-            spectrum = np.fft.rfft(segment, axis=-1)
-            self._acc += np.square(np.abs(spectrum)) * self._scale
-            self._count += 1
-            self._next_start += self.step
+            segment = buffer[np.newaxis, start : start + n_seg]
+            self.fold(welch_segment_psd(segment, self._w, self._scale))
 
     def finalize(
         self, buffer: np.ndarray, length: int

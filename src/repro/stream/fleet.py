@@ -110,6 +110,16 @@ class FleetConfig:
         single-shard loop and ignores this knob; results are bitwise
         identical for every value (the shard determinism suite and CI
         job pin it).
+    vectorized:
+        Drive streams through the structure-of-arrays kernel
+        (:mod:`repro.stream.kernel`) instead of the per-stream scalar
+        loop. Results are bitwise identical either way — the knob
+        exists for the differential oracle and for benchmarking the
+        scalar baseline.
+    batch_streams:
+        Streams per kernel lockstep group (vectorized mode). Any
+        value produces the identical digest; it trades batched-op
+        width against working-set memory.
     """
 
     scenario: str = "free_field"
@@ -125,6 +135,8 @@ class FleetConfig:
     seed: int = 0
     workers: int = 1
     shards: int = 1
+    vectorized: bool = True
+    batch_streams: int = 64
 
     def __post_init__(self) -> None:
         if self.n_streams < 1:
@@ -159,6 +171,10 @@ class FleetConfig:
         if self.shards < 1:
             raise StreamError(
                 f"shards must be >= 1, got {self.shards}"
+            )
+        if self.batch_streams < 1:
+            raise StreamError(
+                f"batch_streams must be >= 1, got {self.batch_streams}"
             )
         get_scenario(self.scenario)  # fail at construction, not mid-run
 
@@ -220,7 +236,12 @@ class FleetReport:
     config: FleetConfig
     sample_rate: float
     streams: list[StreamResult] = field(repr=False)
+    #: Workload-generation cost: utterance synthesis plus ambient
+    #: timeline assembly. A deployment receives its audio, so neither
+    #: belongs in the streaming throughput denominator.
     prepare_seconds: float = 0.0
+    #: The streaming hot path: ingestion, segmentation, Welch
+    #: accumulation and the decide phase (recognition + detection).
     wall_seconds: float = 0.0
     #: Per-shard streaming wall clock (empty when unsharded). The
     #: spread diagnoses load imbalance; the coordinator's
@@ -433,24 +454,18 @@ class RawStreamRun:
         )
 
 
-def drive_stream(
+def assemble_timeline(
     config: FleetConfig,
-    detector: InaudibleVoiceDetector,
-    segmenter_config: SegmenterConfig | None,
-    index: int,
     rate: float,
-    recognizer: KeywordRecognizer,
     recordings: list[Signal],
-    attack_mask: np.ndarray,
-    seed_seq: np.random.SeedSequence,
-) -> RawStreamRun:
-    """One device's whole timeline through its own guard.
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One device's full audio timeline: lead-in, utterances, gaps.
 
-    Module-level (picklable by reference) and a pure function of its
-    arguments, so the unsharded thread pool and the per-process shard
-    workers execute the identical loop body.
+    Shared verbatim by the scalar loop (:func:`drive_stream`) and the
+    vectorized kernel, so both paths consume the identical generator
+    draws — the first link in their bitwise-parity chain.
     """
-    rng = np.random.default_rng(seed_seq)
     mean_rms = float(
         np.mean([recording.rms() for recording in recordings])
     )
@@ -464,7 +479,38 @@ def drive_stream(
     for recording in recordings:
         pieces.append(recording.samples)
         pieces.append(ambient(config.gap_s))
-    samples = np.concatenate(pieces)
+    return np.concatenate(pieces)
+
+
+def drive_stream(
+    config: FleetConfig,
+    detector: InaudibleVoiceDetector,
+    segmenter_config: SegmenterConfig | None,
+    index: int,
+    rate: float,
+    recognizer: KeywordRecognizer,
+    recordings: list[Signal],
+    attack_mask: np.ndarray,
+    seed_seq: np.random.SeedSequence,
+    timeline: np.ndarray | None = None,
+) -> RawStreamRun:
+    """One device's whole timeline through its own guard.
+
+    Module-level (picklable by reference) and a pure function of its
+    arguments, so the unsharded thread pool and the per-process shard
+    workers execute the identical loop body. This is the scalar
+    reference path; :func:`drive_streams` dispatches to it or to the
+    structure-of-arrays kernel per ``config.vectorized``.
+
+    ``timeline`` (optional) supplies a pre-assembled timeline —
+    exactly ``assemble_timeline(config, rate, recordings, rng)`` for
+    this stream's generator — so the dispatcher can account synthesis
+    as prepare time; omitted, the stream assembles its own.
+    """
+    if timeline is None:
+        rng = np.random.default_rng(seed_seq)
+        timeline = assemble_timeline(config, rate, recordings, rng)
+    samples = timeline
     guard = StreamingGuard(
         recognizer,
         detector,
@@ -497,6 +543,112 @@ def check_fleet_rate(recordings: list[Signal]) -> float:
     return rate
 
 
+def drive_streams(
+    config: FleetConfig,
+    detector: InaudibleVoiceDetector,
+    segmenter_config: SegmenterConfig | None,
+    stream_indices,
+    rate: float,
+    recognizer: KeywordRecognizer,
+    recordings: list[Signal],
+    attack_mask: np.ndarray,
+    stream_seqs,
+    emit,
+    profile=None,
+) -> float:
+    """Drive a partition of streams, scalar or vectorized.
+
+    The single streaming dispatcher: the unsharded simulator and every
+    shard worker (:func:`repro.stream.shard.run_shard`) route through
+    it, so ``config.vectorized`` composes with sharding — each shard
+    process runs its own kernel groups over its own partition.
+
+    ``stream_indices[pos]`` is the *global* index of local position
+    ``pos``; ``recordings``/``attack_mask`` are laid out per local
+    slot (``pos * utterances_per_stream`` onward). Every finished
+    stream's :class:`RawStreamRun` is handed to ``emit`` (a commit
+    queue's ``put``, or a plain list append) — completion order may
+    vary with threading, but each run's content never does.
+
+    Returns the seconds spent *assembling* timelines (ambient
+    synthesis — workload generation, identical draws on both paths),
+    which callers subtract from their streaming wall clock and account
+    as prepare time alongside utterance synthesis.
+    """
+    per = config.utterances_per_stream
+    n_local = len(stream_indices)
+
+    if config.vectorized:
+        from repro.stream import kernel  # deferred: kernel imports us
+
+        group_bounds = list(
+            range(0, n_local, config.batch_streams)
+        )
+
+        def drive_group(lo: int) -> float:
+            hi = min(lo + config.batch_streams, n_local)
+            positions = range(lo, hi)
+            runs, assembled = kernel.drive_stream_group(
+                config,
+                detector,
+                segmenter_config,
+                [int(stream_indices[pos]) for pos in positions],
+                rate,
+                recognizer,
+                [
+                    recordings[pos * per : (pos + 1) * per]
+                    for pos in positions
+                ],
+                [
+                    attack_mask[pos * per : (pos + 1) * per]
+                    for pos in positions
+                ],
+                [stream_seqs[pos] for pos in positions],
+                profile=profile,
+            )
+            for run in runs:
+                emit(run)
+            return assembled
+
+        if config.workers == 1 or len(group_bounds) == 1:
+            return sum(drive_group(lo) for lo in group_bounds)
+        with ThreadPoolExecutor(
+            max_workers=config.workers
+        ) as pool:
+            return sum(pool.map(drive_group, group_bounds))
+
+    def drive(pos: int) -> float:
+        started = time.perf_counter()
+        rng = np.random.default_rng(stream_seqs[pos])
+        timeline = assemble_timeline(
+            config,
+            rate,
+            recordings[pos * per : (pos + 1) * per],
+            rng,
+        )
+        assembled = time.perf_counter() - started
+        emit(
+            drive_stream(
+                config,
+                detector,
+                segmenter_config,
+                int(stream_indices[pos]),
+                rate,
+                recognizer,
+                recordings[pos * per : (pos + 1) * per],
+                attack_mask[pos * per : (pos + 1) * per],
+                stream_seqs[pos],
+                timeline=timeline,
+            )
+        )
+        return assembled
+
+    if config.workers == 1:
+        return sum(drive(pos) for pos in range(n_local))
+    with ThreadPoolExecutor(max_workers=config.workers) as pool:
+        return sum(pool.map(drive, range(n_local)))
+
+
 class FleetSimulator:
     """Run many concurrent device streams against one trained guard.
 
@@ -523,8 +675,15 @@ class FleetSimulator:
 
     # -- the run -------------------------------------------------------
 
-    def run(self) -> FleetReport:
-        """Synthesise, stream and decide the whole fleet."""
+    def run(self, profile=None) -> FleetReport:
+        """Synthesise, stream and decide the whole fleet.
+
+        ``profile`` (an optional
+        :class:`~repro.sim.pipeline.StageProfile`) accumulates the
+        vectorized kernel's per-stage wall time — how the streaming
+        benchmark attributes ingestion vs segmentation vs Welch vs
+        decide cost.
+        """
         config = self.config
         attack_mask, trial_seqs, stream_seqs = fleet_seed_plan(config)
         trial_rngs = [
@@ -542,32 +701,30 @@ class FleetSimulator:
         )
         prepare_seconds = time.perf_counter() - prepare_started
         rate = check_fleet_rate(recordings)
-        per = config.utterances_per_stream
 
-        def drive(index: int) -> StreamResult:
-            return drive_stream(
-                config,
-                self.detector,
-                self.segmenter_config,
-                index,
-                rate,
-                recognizer,
-                recordings[index * per : (index + 1) * per],
-                attack_mask[index * per : (index + 1) * per],
-                stream_seqs[index],
-            ).commit()
-
+        raw_runs: list[RawStreamRun] = []
         started = time.perf_counter()
-        if config.workers == 1:
-            results = [drive(i) for i in range(config.n_streams)]
-        else:
-            with ThreadPoolExecutor(
-                max_workers=config.workers
-            ) as pool:
-                results = list(
-                    pool.map(drive, range(config.n_streams))
-                )
-        wall_seconds = time.perf_counter() - started
+        assembled = drive_streams(
+            config,
+            self.detector,
+            self.segmenter_config,
+            range(config.n_streams),
+            rate,
+            recognizer,
+            recordings,
+            attack_mask,
+            stream_seqs,
+            raw_runs.append,
+            profile=profile,
+        )
+        results = [
+            raw.commit()
+            for raw in sorted(raw_runs, key=lambda raw: raw.index)
+        ]
+        # Timeline assembly is workload generation (a deployment
+        # receives its audio); it counts as prepare, not streaming.
+        prepare_seconds += assembled
+        wall_seconds = time.perf_counter() - started - assembled
         return FleetReport(
             config=config,
             sample_rate=rate,

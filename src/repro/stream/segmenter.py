@@ -306,3 +306,266 @@ class OnlineSegmenter:
             end_sample=min(event.end_sample, head),
             forced=event.forced,
         )
+
+
+@dataclass(frozen=True)
+class BatchOpened:
+    """Utterances began on ``rows`` at (per-row) frame ``frame``.
+
+    All rows opening during the same lockstep cycle share the frame
+    index and therefore the start-sample formula, so ``start_sample``
+    is one scalar — identical to what each row's scalar segmenter
+    would have emitted.
+    """
+
+    frame: int
+    rows: np.ndarray
+    start_sample: int
+
+
+@dataclass(frozen=True)
+class BatchClosed:
+    """Utterances ended on ``rows`` at frame ``frame``.
+
+    ``end_samples`` carries the per-row uncapped boundary formula and
+    ``forced`` the per-row ``max_utterance_s`` flags — elementwise the
+    fields of the scalar :class:`UtteranceClosed` events.
+    """
+
+    frame: int
+    rows: np.ndarray
+    start_samples: np.ndarray
+    end_samples: np.ndarray
+    forced: np.ndarray
+
+
+class OnlineSegmenterBatch:
+    """Structure-of-arrays :class:`OnlineSegmenter` over many streams.
+
+    The scalar state machine is one Python branch per (stream, frame);
+    this batch form keeps every per-stream scalar as one slot of a
+    ``(n_streams,)`` array and advances all streams through a frame
+    with a handful of masked vector ops. Per row it is *bitwise* the
+    scalar machine: the EMA update, the threshold comparisons and the
+    boundary formulas are the same float64 elementwise operations the
+    scalar code performs on Python floats, applied in the same
+    in-frame order (open-state snapshot first, so a row opening at
+    frame ``f`` never runs the close branch at ``f``, and vice versa).
+
+    Rows fall out of lockstep only by *length*: the kernel zero-pads
+    shorter timelines, and the per-frame ``valid`` mask (row still has
+    real frames) freezes a finished row's state exactly where its
+    scalar counterpart stopped.
+    """
+
+    def __init__(
+        self,
+        n_streams: int,
+        sample_rate: float,
+        config: SegmenterConfig | None = None,
+    ) -> None:
+        if n_streams < 1:
+            raise StreamError(
+                f"n_streams must be >= 1, got {n_streams}"
+            )
+        self.config = config or SegmenterConfig()
+        self.n_streams = int(n_streams)
+        self.sample_rate = float(sample_rate)
+        self.frame_len, self.hop = frame_params(
+            sample_rate,
+            self.config.frame_length_s,
+            self.config.hop_length_s,
+        )
+        self.pad = int(round(self.config.padding_s * sample_rate))
+        self.max_samples = int(
+            round(self.config.max_utterance_s * sample_rate)
+        )
+        n = self.n_streams
+        self._floor = np.zeros(n, dtype=np.float64)
+        self._seen = np.zeros(n, dtype=bool)
+        self._frames_seen = np.zeros(n, dtype=np.int64)
+        self._consecutive = np.zeros(n, dtype=np.int64)
+        self._open = np.zeros(n, dtype=bool)
+        self._start = np.zeros(n, dtype=np.int64)
+        self._last_voiced = np.zeros(n, dtype=np.int64)
+        self._frames_done = 0  # global lockstep frame counter
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def in_utterance(self) -> np.ndarray:
+        """Boolean mask of rows with an open utterance (a copy)."""
+        return self._open.copy()
+
+    @property
+    def utterance_starts(self) -> np.ndarray:
+        """Per-row absolute start samples (valid where open)."""
+        return self._start.copy()
+
+    def commit_bounds(self, heads: np.ndarray) -> np.ndarray:
+        """Per-row in-utterance commit bounds, elementwise the scalar
+        :meth:`OnlineSegmenter.commit_bound` formula.
+
+        ``heads`` is each row's true stream head (its timeline length
+        capped at the lockstep head). Values are meaningful only where
+        :attr:`in_utterance` — the kernel masks by the open rows.
+        """
+        bound = self._last_voiced * self.hop + self.frame_len + self.pad
+        bound = np.minimum(bound, self._start + self.max_samples)
+        bound = np.minimum(bound, np.asarray(heads, dtype=np.int64))
+        return np.maximum(bound, self._start)
+
+    def lookback_samples(self) -> np.ndarray:
+        """Per-row earliest start of any *future* utterance,
+        elementwise :meth:`OnlineSegmenter.lookback_sample`."""
+        earliest = self._frames_seen - self.config.open_frames + 1
+        return np.maximum(0, earliest * self.hop - self.pad)
+
+    # -- the state machine --------------------------------------------
+
+    def process_block(
+        self,
+        first_frame: int,
+        energies: np.ndarray,
+        valid: np.ndarray,
+    ) -> list[BatchOpened | BatchClosed]:
+        """Advance all rows over a block of lockstep frames.
+
+        ``energies`` is ``(n_streams, n_new)`` (from the batched ring);
+        ``valid[i, j]`` marks whether lockstep frame ``first_frame + j``
+        is a *real* frame of row ``i`` (frames over a finished row's
+        zero padding are skipped, freezing that row's state). Because
+        every row starts at frame 0 and rows only ever *stop* being
+        valid, a valid row's private frame counter always equals the
+        lockstep frame index — which is why rows opening together
+        share one start-sample value.
+        """
+        if first_frame != self._frames_done:
+            raise StreamError(
+                f"expected frame {self._frames_done}, got "
+                f"{first_frame}; frames must arrive exactly once, in "
+                "order"
+            )
+        energies = np.asarray(energies, dtype=np.float64)
+        valid = np.asarray(valid, dtype=bool)
+        if energies.shape != valid.shape or energies.shape[0] != self.n_streams:
+            raise StreamError(
+                f"energies {energies.shape} / valid {valid.shape} must "
+                f"both be ({self.n_streams}, n_new)"
+            )
+        cfg = self.config
+        events: list[BatchOpened | BatchClosed] = []
+        for j in range(energies.shape[1]):
+            f = first_frame + j
+            e = energies[:, j]
+            v = valid[:, j]
+            if not v.any():
+                self._frames_done += 1
+                continue
+            # First real frame of a row seeds its noise floor.
+            newly = v & ~self._seen
+            if newly.any():
+                self._floor[newly] = np.maximum(e[newly], cfg.floor_min)
+                self._seen |= newly
+            # Snapshot the open state *at frame entry*: a row opening
+            # this frame must not also run the close branch, and a row
+            # closing this frame must not run the open branch.
+            inut = v & self._open
+            gated = v & ~self._open
+            if gated.any():
+                active = e > cfg.open_factor * self._floor
+                inc = gated & active
+                dec = gated & ~active
+                self._consecutive[inc] += 1
+                self._consecutive[dec] = 0
+                if dec.any():
+                    self._floor[dec] = np.maximum(
+                        (1.0 - cfg.floor_alpha) * self._floor[dec]
+                        + cfg.floor_alpha * e[dec],
+                        cfg.floor_min,
+                    )
+                opening = gated & (self._consecutive >= cfg.open_frames)
+                if opening.any():
+                    open_first = f - cfg.open_frames + 1
+                    start = max(0, open_first * self.hop - self.pad)
+                    self._open |= opening
+                    self._start[opening] = start
+                    self._last_voiced[opening] = f
+                    self._consecutive[opening] = 0
+                    events.append(
+                        BatchOpened(f, np.flatnonzero(opening), start)
+                    )
+            if inut.any():
+                voiced = inut & (e > cfg.close_factor * self._floor)
+                self._last_voiced[voiced] = f
+                frame_end = f * self.hop + self.frame_len
+                forced = inut & (
+                    frame_end - self._start >= self.max_samples
+                )
+                natural = (
+                    inut
+                    & ~forced
+                    & (
+                        f - self._last_voiced
+                        >= cfg.hangover_frames + cfg.close_frames
+                    )
+                )
+                closing = forced | natural
+                if closing.any():
+                    rows = np.flatnonzero(closing)
+                    ends = np.where(
+                        forced[rows],
+                        self._start[rows] + self.max_samples,
+                        self._last_voiced[rows] * self.hop
+                        + self.frame_len
+                        + self.pad,
+                    )
+                    events.append(
+                        BatchClosed(
+                            f,
+                            rows,
+                            self._start[rows].copy(),
+                            ends,
+                            forced[rows].copy(),
+                        )
+                    )
+                    self._open[closing] = False
+                    self._consecutive[closing] = 0
+            self._frames_seen[v] += 1
+            self._frames_done += 1
+        return events
+
+    def flush_open_rows(self, heads: np.ndarray) -> BatchClosed | None:
+        """End of stream: close every still-open row naturally.
+
+        Mirrors :meth:`OnlineSegmenter.flush` per row — the boundary
+        formula capped at that row's own head, fired at that row's own
+        frame count (rows whose timelines ended early froze at their
+        scalar counterpart's frame count). Rows closing at different
+        frames are folded into one event; the kernel orders flush
+        outcomes per row, so the shared ``frame`` field is reported as
+        each row's own count via ``frames_seen_of``.
+        """
+        if not self._open.any():
+            return None
+        rows = np.flatnonzero(self._open)
+        heads = np.asarray(heads, dtype=np.int64)
+        ends = np.minimum(
+            self._last_voiced[rows] * self.hop + self.frame_len + self.pad,
+            heads[rows],
+        )
+        event = BatchClosed(
+            int(self._frames_done),
+            rows,
+            self._start[rows].copy(),
+            ends,
+            np.zeros(len(rows), dtype=bool),
+        )
+        self._open[rows] = False
+        self._consecutive[rows] = 0
+        return event
+
+    def frames_seen_of(self, row: int) -> int:
+        """Row ``row``'s private frame count (== its scalar
+        segmenter's ``_frames_seen``)."""
+        return int(self._frames_seen[row])

@@ -45,11 +45,7 @@ import os
 import queue
 import threading
 import time
-from concurrent.futures import (
-    ProcessPoolExecutor,
-    ThreadPoolExecutor,
-    as_completed,
-)
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
@@ -63,7 +59,7 @@ from repro.stream.fleet import (
     FleetReport,
     StreamResult,
     check_fleet_rate,
-    drive_stream,
+    drive_streams,
     fleet_seed_plan,
     synthesize_utterances,
 )
@@ -194,7 +190,6 @@ def run_shard(task: ShardTask) -> ShardResult:
     identical code path.
     """
     config = task.config
-    per = config.utterances_per_stream
     rng_children = [
         np.random.default_rng(seq)
         for stream in task.slot_seqs
@@ -218,35 +213,28 @@ def run_shard(task: ShardTask) -> ShardResult:
 
     commits = CommitQueue(lambda raw: raw.commit())
 
-    def drive(pos: int) -> None:
-        raw = drive_stream(
-            config,
-            task.detector,
-            task.segmenter_config,
-            task.stream_indices[pos],
-            rate,
-            recognizer,
-            recordings[pos * per : (pos + 1) * per],
-            attack_mask[pos * per : (pos + 1) * per],
-            task.stream_seqs[pos],
-        )
-        commits.put(raw)
-
     started = time.perf_counter()
-    n_local = len(task.stream_indices)
-    if config.workers == 1:
-        for pos in range(n_local):
-            drive(pos)
-    else:
-        with ThreadPoolExecutor(max_workers=config.workers) as pool:
-            list(pool.map(drive, range(n_local)))
+    assembled = drive_streams(
+        config,
+        task.detector,
+        task.segmenter_config,
+        task.stream_indices,
+        rate,
+        recognizer,
+        recordings,
+        attack_mask,
+        task.stream_seqs,
+        commits.put,
+    )
     streams = sorted(commits.close(), key=lambda s: s.index)
-    wall_seconds = time.perf_counter() - started
+    # Timeline assembly is workload generation, accounted as prepare
+    # (same split as the unsharded simulator).
+    wall_seconds = time.perf_counter() - started - assembled
     return ShardResult(
         shard_index=task.shard_index,
         sample_rate=rate,
         streams=streams,
-        prepare_seconds=prepare_seconds,
+        prepare_seconds=prepare_seconds + assembled,
         wall_seconds=wall_seconds,
     )
 
