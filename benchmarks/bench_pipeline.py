@@ -39,7 +39,6 @@ gate.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 
@@ -47,7 +46,7 @@ import numpy as np
 
 from repro.defense.dataset import DatasetConfig, build_dataset
 from repro.experiments._emissions import array_split
-from repro.sim.bench import machine_metadata
+from repro.sim.bench import write_bench_record
 from repro.sim.engine import EmissionSpec, ExperimentEngine, TrialGroup
 from repro.sim.pipeline import StageProfile, build_pipeline
 from repro.sim.results import ResultTable
@@ -196,17 +195,16 @@ def main(argv: list[str] | None = None) -> int:
         bench_dataset_build(args.quick, args.seed, dataset_gate),
     ]
     profile = profile_stages(args.quick, args.seed)
-    record = {
-        "benchmark": "trial-pipeline scalar vs batched",
-        "quick": args.quick,
-        "seed": args.seed,
-        "machine": machine_metadata(),
-        "results": results,
-        "stages": profile.as_rows(),
-    }
-    with open(args.output, "w") as handle:
-        json.dump(record, handle, indent=2)
-        handle.write("\n")
+    write_bench_record(
+        args.output,
+        {
+            "benchmark": "trial-pipeline scalar vs batched",
+            "quick": args.quick,
+            "seed": args.seed,
+            "results": results,
+            "stages": profile.as_rows(),
+        },
+    )
     table = ResultTable(
         title="trial pipeline: scalar vs batched (single worker)",
         columns=["workload", "scalar s", "batch s", "speedup"],

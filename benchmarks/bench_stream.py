@@ -57,17 +57,14 @@ from __future__ import annotations
 
 import argparse
 import gc
-import json
 import os
 import sys
-
-import numpy as np
 
 from repro.experiments.s1_streaming import (
     chunked_parity_probes,
     train_detector,
 )
-from repro.sim.bench import machine_metadata
+from repro.sim.bench import write_bench_record
 from repro.sim.pipeline import StageProfile
 from repro.sim.results import ResultTable
 from repro.stream.fleet import FleetConfig, FleetSimulator
@@ -175,7 +172,7 @@ def bench_fleet(
             raise AssertionError("kernel fleet digest drifted between passes")
         if report is None or run.wall_seconds < report.wall_seconds:
             report, profile = run, pass_profile
-    latencies = report.latencies_s()
+    stats = report.latency_stats()
     sustained = int(report.realtime_factor)
     return {
         "workload": (
@@ -205,12 +202,16 @@ def bench_fleet(
         "executed": report.n_executed,
         "rejected": report.n_rejected,
         "mean_latency_ms": (
-            1000.0 * float(np.mean(latencies)) if latencies else 0.0
+            1000.0 * stats.mean if stats.count else 0.0
+        ),
+        "p50_latency_ms": (
+            1000.0 * stats.quantile(0.5) if stats.count else 0.0
         ),
         "p95_latency_ms": (
-            1000.0 * float(np.percentile(latencies, 95))
-            if latencies
-            else 0.0
+            1000.0 * stats.quantile(0.95) if stats.count else 0.0
+        ),
+        "p99_latency_ms": (
+            1000.0 * stats.quantile(0.99) if stats.count else 0.0
         ),
     }, profile
 
@@ -437,13 +438,10 @@ def main(argv: list[str] | None = None) -> int:
         "scenario": args.scenario,
         "gate_sustained_streams": SUSTAINED_STREAMS_GATE,
         "gate_sustained_per_core": SUSTAINED_PER_CORE_GATE,
-        "machine": machine_metadata(),
         "stages": profile.as_rows(),
         "results": results,
     }
-    with open(args.output, "w") as handle:
-        json.dump(record, handle, indent=2)
-        handle.write("\n")
+    write_bench_record(args.output, record)
     table = ResultTable(
         title="streaming guard: fleet throughput",
         columns=[

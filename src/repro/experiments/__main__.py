@@ -22,6 +22,13 @@ random room, multi-leg trajectory, multiple interferers, weather —
 and echoes the generated spec to stderr for reproduction. Rendered
 tables go to stdout and are byte-identical for every ``--jobs`` value
 and for both batch modes; per-experiment timings go to stderr.
+
+``--trace PATH`` writes a JSONL span trace of the whole run (pipeline
+stages, engine fan-out, stream-kernel cycles, shard lifecycles —
+render it with ``python -m repro.obs report PATH``) and
+``--metrics-out PATH`` writes the metrics registry (counters, gauges,
+exact latency percentiles) as JSON. Both are bitwise-inert: stdout
+stays byte-identical to an uninstrumented run.
 """
 
 from __future__ import annotations
@@ -30,9 +37,12 @@ import argparse
 import inspect
 import sys
 import time
+from contextlib import ExitStack
 
 from repro.errors import ExperimentError, ReproError
 from repro.experiments import ALL_EXPERIMENTS
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.sim.engine import ExperimentEngine
 from repro.sim.spec import get_scenario, scenario_names
 
@@ -117,6 +127,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the scenario registry with descriptions and exit",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL span trace of the whole run (render it "
+        "with `python -m repro.obs report PATH`); stdout tables stay "
+        "byte-identical to an untraced run",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the run's metrics registry (counters, gauges, "
+        "exact latency percentiles) as JSON",
+    )
     return parser
 
 
@@ -169,7 +194,23 @@ def main(argv: list[str] | None = None) -> int:
     except ExperimentError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    with engine:
+    # Observability is opt-in per artifact: a tracer and/or a metrics
+    # registry install as the ambient collectors for the whole run,
+    # and the instrumented layers (pipeline, engine, fleet, kernel,
+    # shards) feed them. Neither changes a single stdout byte — the
+    # CI observability job diffs traced vs untraced runs to prove it.
+    tracer = obs_trace.Tracer() if args.trace is not None else None
+    registry = (
+        obs_metrics.MetricsRegistry()
+        if args.metrics_out is not None
+        else None
+    )
+    with ExitStack() as stack:
+        if tracer is not None:
+            stack.enter_context(obs_trace.activate(tracer))
+        if registry is not None:
+            stack.enter_context(obs_metrics.activate(registry))
+        stack.enter_context(engine)
         if args.shards < 1:
             print(
                 f"error: shards must be >= 1, got {args.shards}",
@@ -202,7 +243,13 @@ def main(argv: list[str] | None = None) -> int:
             ):
                 kwargs["streams"] = args.streams
             try:
-                table = module.run(**kwargs)
+                with obs_trace.maybe_span(
+                    "experiment",
+                    experiment=name,
+                    scenario=args.scenario,
+                    seed=args.seed,
+                ):
+                    table = module.run(**kwargs)
             except ReproError as error:
                 # A generated environment can be legitimately
                 # unrunnable for a particular sweep (e.g. a room too
@@ -223,6 +270,15 @@ def main(argv: list[str] | None = None) -> int:
             print(f"=== {name}")
             print(table.render())
             print()
+    if tracer is not None:
+        n_spans = tracer.write_jsonl(args.trace)
+        print(
+            f"trace: {n_spans} spans -> {args.trace}",
+            file=sys.stderr,
+        )
+    if registry is not None:
+        registry.write_json(args.metrics_out)
+        print(f"metrics -> {args.metrics_out}", file=sys.stderr)
     return 0
 
 

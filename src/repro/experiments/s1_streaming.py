@@ -245,13 +245,17 @@ def run(
             f"second, shard balance {balance:.2f}",
             file=sys.stderr,
         )
-        latencies = report.latencies_s()
-        mean_latency_ms = (
-            1000.0 * float(np.mean(latencies)) if latencies else 0.0
+        # Exact-quantile latency stats from the raw per-utterance
+        # samples (repro.obs.metrics) — percentiles, not a sketch.
+        stats = report.latency_stats()
+        mean_latency_ms = 1000.0 * stats.mean if stats.count else 0.0
+        p50_latency_ms = (
+            1000.0 * stats.quantile(0.5) if stats.count else 0.0
         )
-        max_latency_ms = (
-            1000.0 * float(np.max(latencies)) if latencies else 0.0
+        p99_latency_ms = (
+            1000.0 * stats.quantile(0.99) if stats.count else 0.0
         )
+        max_latency_ms = 1000.0 * stats.max if stats.count else 0.0
         table.add_row(
             f"fleet ({report.config.n_streams} streams)",
             int(round(report.config.chunk_s * 1000)),
@@ -262,6 +266,22 @@ def run(
             "",
             "",
             mean_latency_ms,
+        )
+        table.add_row(
+            "fleet p50 latency",
+            int(round(report.config.chunk_s * 1000)),
+            f"{stats.count} utterance samples",
+            "",
+            "",
+            p50_latency_ms,
+        )
+        table.add_row(
+            "fleet p99 latency",
+            int(round(report.config.chunk_s * 1000)),
+            f"{stats.count} utterance samples",
+            "",
+            "",
+            p99_latency_ms,
         )
         table.add_row(
             "fleet worst-case latency",

@@ -23,6 +23,11 @@ from typing import Any
 import numpy as np
 import scipy
 
+#: Version stamped into every ``BENCH_*.json`` by
+#: :func:`write_bench_record`. Bump when the record layout changes so
+#: trajectory consumers can tell points apart.
+BENCH_SCHEMA_VERSION = 2
+
 
 def git_sha() -> str | None:
     """The current commit hash, or ``None`` outside a checkout.
@@ -62,6 +67,26 @@ def machine_metadata() -> dict[str, Any]:
         "scipy": scipy.__version__,
         "git_sha": git_sha(),
     }
+
+
+def write_bench_record(
+    path: str | Path, record: dict[str, Any]
+) -> dict[str, Any]:
+    """Write one ``BENCH_*.json`` record the canonical way.
+
+    The single JSON writer every benchmark shares (pipeline, stream,
+    obs — previously each carried its own copy of this boilerplate):
+    stamps ``schema_version`` and, unless the record already carries
+    one, the :func:`machine_metadata` block; writes 2-space-indented
+    JSON with a trailing newline. Returns the record as written.
+    """
+    record = dict(record)
+    record["schema_version"] = BENCH_SCHEMA_VERSION
+    record.setdefault("machine", machine_metadata())
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    return record
 
 
 def summarize_record(record: dict[str, Any]) -> dict[str, Any]:

@@ -33,6 +33,7 @@ CLI (``--jobs``).
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Sequence
@@ -42,6 +43,8 @@ import numpy as np
 from repro.acoustics.channel import PlacedSource
 from repro.dsp.signals import Signal
 from repro.errors import ExperimentError
+from repro.obs.metrics import current_metrics
+from repro.obs.trace import Tracer, activate as activate_tracer, current_tracer
 from repro.sim.cache import CacheStats, EmissionCache, stable_key
 from repro.sim.pipeline import (
     TrialOutcome,
@@ -152,7 +155,7 @@ def _run_trial_batch(
     task: tuple[
         TrialGroup, tuple[np.random.Generator, ...], bool, bool, str
     ],
-) -> list[TrialOutcome]:
+) -> list[TrialOutcome] | tuple[list[TrialOutcome], list]:
     """Worker: execute one chunk of a group's trials.
 
     Module-level so it pickles by reference; the emission is resolved
@@ -172,18 +175,41 @@ def _run_trial_batch(
     ``keep_recordings=False`` drops each outcome's device-rate
     waveform *before* it is pickled back — at 50 trials per cell the
     recordings, not the results, are the dominant IPC cost.
+
+    An optional sixth tuple element requests tracing. Pool workers
+    cannot see the coordinator's ambient tracer, so the flag travels
+    with the task; a traced worker installs a fresh local
+    :class:`~repro.obs.trace.Tracer`, wraps the run in a
+    ``trial-batch`` span (pipeline stage spans nest under it) and
+    returns ``(outcomes, spans)`` for the coordinator to adopt.
+    Tracing never touches the trial computation itself, so outcomes
+    stay bitwise identical either way.
     """
-    group, rngs, keep_recordings, use_batch, precision = task
-    pipeline = build_pipeline(
-        group.scenario, group.device, precision=precision
-    )
-    ctx = pipeline.context(group.resolve_sources())
-    outcomes = pipeline.run_trials(ctx, rngs, batch=use_batch)
-    if not keep_recordings:
-        outcomes = [
-            replace(outcome, recording=None) for outcome in outcomes
-        ]
-    return outcomes
+    group, rngs, keep_recordings, use_batch, precision = task[:5]
+    trace = bool(task[5]) if len(task) > 5 else False
+
+    def execute() -> list[TrialOutcome]:
+        pipeline = build_pipeline(
+            group.scenario, group.device, precision=precision
+        )
+        ctx = pipeline.context(group.resolve_sources())
+        outcomes = pipeline.run_trials(ctx, rngs, batch=use_batch)
+        if not keep_recordings:
+            outcomes = [
+                replace(outcome, recording=None)
+                for outcome in outcomes
+            ]
+        return outcomes
+
+    if not trace:
+        return execute()
+    local = Tracer()
+    with activate_tracer(local):
+        with local.span(
+            "trial-batch", trials=len(rngs), batched=use_batch
+        ):
+            outcomes = execute()
+    return outcomes, local.spans
 
 
 def _spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
@@ -405,16 +431,18 @@ class ExperimentEngine:
                     f"n_trials must be >= 1, got {group.n_trials}"
                 )
         use_batch = self.batch if batch is None else bool(batch)
+        tracer = current_tracer()
+        trace = tracer is not None
         # Coarse batches keep emission materialisation local: with
         # groups >= jobs each group stays on one worker, so its
         # emission is built exactly once in the whole pool.
         batches_per_group = max(1, self.jobs // len(groups))
         tasks: list[tuple[TrialGroup, tuple]] = []
-        spans: list[int] = []
+        widths: list[int] = []
         for group, group_rng in zip(groups, _spawn(rng, len(groups))):
             trial_rngs = _spawn(group_rng, group.n_trials)
             batches = partition_evenly(trial_rngs, batches_per_group)
-            spans.append(len(batches))
+            widths.append(len(batches))
             tasks.extend(
                 (
                     group,
@@ -422,17 +450,46 @@ class ExperimentEngine:
                     keep_recordings,
                     use_batch,
                     self.precision,
+                    trace,
                 )
                 for batch in batches
             )
-        flat = self.map(_run_trial_batch, tasks)
+        metrics = current_metrics()
+        if metrics is not None:
+            metrics.counter("engine.trial_groups").inc(len(groups))
+            metrics.counter("engine.trials").inc(
+                sum(group.n_trials for group in groups)
+            )
+            metrics.counter("engine.tasks").inc(len(tasks))
+        if trace:
+            with tracer.span(
+                "trial-groups",
+                groups=len(groups),
+                tasks=len(tasks),
+                jobs=self.jobs,
+            ) as fanout_id:
+                dispatch_started = time.perf_counter()
+                traced = self.map(_run_trial_batch, tasks)
+                dispatch_seconds = (
+                    time.perf_counter() - dispatch_started
+                )
+                flat = []
+                for outcomes, worker_spans in traced:
+                    tracer.adopt(worker_spans, parent_id=fanout_id)
+                    flat.append(outcomes)
+            if metrics is not None:
+                metrics.latency("engine.fanout_s").observe(
+                    dispatch_seconds
+                )
+        else:
+            flat = self.map(_run_trial_batch, tasks)
         results: list[list[TrialOutcome]] = []
         cursor = 0
-        for span in spans:
+        for width in widths:
             outcomes: list[TrialOutcome] = []
-            for batch in flat[cursor : cursor + span]:
+            for batch in flat[cursor : cursor + width]:
                 outcomes.extend(batch)
-            cursor += span
+            cursor += width
             results.append(outcomes)
         return results
 

@@ -57,6 +57,7 @@ from repro.dsp.signals import Signal, SignalBatch
 from repro.errors import ExperimentError
 from repro.hardware.microphone import Microphone
 from repro.hardware.nonlinearity import PolynomialNonlinearity
+from repro.obs.trace import current_tracer
 from repro.sim.cache import EmissionCache, stable_key
 from repro.sim.scenario import Scenario, VictimDevice
 from repro.speech.recognizer import KeywordRecognizer
@@ -165,6 +166,27 @@ class StageProfile:
             }
             for (mode, stage), timing in self.timings.items()
         ]
+
+    @classmethod
+    def from_spans(cls, spans) -> "StageProfile":
+        """Rebuild a profile from trace spans (:mod:`repro.obs`).
+
+        Any span carrying ``mode`` and ``trials`` attributes is a
+        stage-timing record — the executors emit exactly one per
+        stage call — so a trace file alone reproduces the profiling
+        table without a separate profiling run.
+        """
+        profile = cls()
+        for span in spans:
+            attrs = span.attrs
+            if "mode" in attrs and "trials" in attrs:
+                profile.add(
+                    str(attrs["mode"]),
+                    span.name,
+                    span.duration_s,
+                    int(attrs["trials"]),
+                )
+        return profile
 
     def render(self) -> str:
         """A fixed-width table of the recorded breakdown."""
@@ -427,19 +449,28 @@ class TrialPipeline:
         ``profile`` (when given) receives each stage's wall time under
         mode ``"scalar"``.
         """
+        tracer = current_tracer()
+        observe = profile is not None or tracer is not None
         value: Any = None
         for stage in self.stages:
-            started = time.perf_counter() if profile is not None else 0.0
+            started = time.perf_counter() if observe else 0.0
             value = stage.scalar(ctx, value, rng)
             if self._fast_dtype is not None:
                 value = _cast_value(value, self._fast_dtype)
-            if profile is not None:
-                profile.add(
-                    "scalar",
-                    stage.name,
-                    time.perf_counter() - started,
-                    1,
-                )
+            if observe:
+                ended = time.perf_counter()
+                if profile is not None:
+                    profile.add(
+                        "scalar", stage.name, ended - started, 1
+                    )
+                if tracer is not None:
+                    tracer.record(
+                        stage.name,
+                        started,
+                        ended,
+                        mode="scalar",
+                        trials=1,
+                    )
         if self._fast_dtype is not None:
             value = _restore_float64(value)
         return value
@@ -487,19 +518,28 @@ class TrialPipeline:
         rngs: list[np.random.Generator],
         profile: StageProfile | None = None,
     ) -> list:
+        tracer = current_tracer()
+        observe = profile is not None or tracer is not None
         value: Any = None
         for stage in self.stages:
-            started = time.perf_counter() if profile is not None else 0.0
+            started = time.perf_counter() if observe else 0.0
             value = stage.batch(ctx, value, rngs)
             if self._fast_dtype is not None:
                 value = _cast_value(value, self._fast_dtype)
-            if profile is not None:
-                profile.add(
-                    "batch",
-                    stage.name,
-                    time.perf_counter() - started,
-                    len(rngs),
-                )
+            if observe:
+                ended = time.perf_counter()
+                if profile is not None:
+                    profile.add(
+                        "batch", stage.name, ended - started, len(rngs)
+                    )
+                if tracer is not None:
+                    tracer.record(
+                        stage.name,
+                        started,
+                        ended,
+                        mode="batch",
+                        trials=len(rngs),
+                    )
         rows = _per_trial_values(value, len(rngs))
         if self._fast_dtype is not None:
             rows = _restore_float64(rows)

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -55,6 +56,8 @@ from repro.defense.detector import InaudibleVoiceDetector
 from repro.dsp.signals import Signal
 from repro.errors import StreamError
 from repro.hardware.devices import horn_tweeter
+from repro.obs.metrics import LatencyRecorder, current_metrics
+from repro.obs.trace import current_tracer, maybe_span
 from repro.sim.cache import stable_key
 from repro.sim.engine import EmissionSpec, cached_voice
 from repro.sim.pipeline import build_pipeline, level_stage
@@ -285,6 +288,36 @@ class FleetReport:
             for s in self.streams
             for u in s.utterances
         ]
+
+    def latency_stats(self) -> LatencyRecorder:
+        """The raw latency samples as an exact-quantile recorder —
+        mean, max and p50/p90/p99/p99.9 from the per-utterance
+        samples, not a sketch. What the S1 table's latency rows and
+        ``--metrics-out`` report."""
+        recorder = LatencyRecorder("fleet.latency_s")
+        for latency in self.latencies_s():
+            recorder.observe(latency)
+        return recorder
+
+    def record_metrics(self, registry) -> None:
+        """Publish this report into a metrics registry."""
+        registry.counter("fleet.streams").inc(len(self.streams))
+        registry.counter("fleet.utterances").inc(self.n_utterances)
+        registry.counter("fleet.vetoed").inc(self.n_vetoed)
+        registry.counter("fleet.executed").inc(self.n_executed)
+        registry.counter("fleet.rejected").inc(self.n_rejected)
+        registry.gauge("fleet.audio_seconds").set(self.audio_seconds)
+        registry.gauge("fleet.wall_seconds").set(self.wall_seconds)
+        registry.gauge("fleet.prepare_seconds").set(
+            self.prepare_seconds
+        )
+        recorder = registry.latency("fleet.latency_s")
+        for latency in self.latencies_s():
+            recorder.observe(latency)
+        if self.shard_wall_seconds:
+            shard_recorder = registry.latency("fleet.shard_wall_s")
+            for wall in self.shard_wall_seconds:
+                shard_recorder.observe(wall)
 
     @property
     def realtime_factor(self) -> float:
@@ -520,10 +553,37 @@ def drive_stream(
         segmenter_config=segmenter_config,
     )
     chunk = max(1, int(round(config.chunk_s * rate)))
+    tracer = current_tracer()
+    stream_started = time.perf_counter() if tracer is not None else 0.0
     outcomes: list[UtteranceOutcome] = []
     for start in range(0, samples.shape[0], chunk):
         outcomes.extend(guard.push(samples[start : start + chunk]))
     outcomes.extend(guard.flush())
+    if tracer is not None:
+        ended = time.perf_counter()
+        stream_span = tracer.record(
+            "stream",
+            stream_started,
+            ended,
+            stream=index,
+            utterances=len(outcomes),
+        )
+        # Same marker shape as the kernel's decide phase: zero wall
+        # width, stream-time latency in the attributes.
+        for outcome in outcomes:
+            tracer.record(
+                "utterance",
+                ended,
+                ended,
+                parent_id=stream_span.span_id,
+                stream=index,
+                latency_s=(
+                    outcome.emitted_at_sample - outcome.end_sample
+                )
+                / rate,
+                accepted=bool(outcome.outcome.recognition.accepted),
+                forced=outcome.forced,
+            )
     return RawStreamRun(
         index=index,
         is_attack=tuple(bool(flag) for flag in attack_mask),
@@ -577,6 +637,12 @@ def drive_streams(
     """
     per = config.utterances_per_stream
     n_local = len(stream_indices)
+    # The nesting stack is thread-local: capture the dispatcher's
+    # parent here so pool threads attach their spans under it.
+    tracer = current_tracer()
+    dispatch_parent = (
+        tracer.current_parent() if tracer is not None else None
+    )
 
     if config.vectorized:
         from repro.stream import kernel  # deferred: kernel imports us
@@ -588,24 +654,30 @@ def drive_streams(
         def drive_group(lo: int) -> float:
             hi = min(lo + config.batch_streams, n_local)
             positions = range(lo, hi)
-            runs, assembled = kernel.drive_stream_group(
-                config,
-                detector,
-                segmenter_config,
-                [int(stream_indices[pos]) for pos in positions],
-                rate,
-                recognizer,
-                [
-                    recordings[pos * per : (pos + 1) * per]
-                    for pos in positions
-                ],
-                [
-                    attack_mask[pos * per : (pos + 1) * per]
-                    for pos in positions
-                ],
-                [stream_seqs[pos] for pos in positions],
-                profile=profile,
+            context = (
+                tracer.attached(dispatch_parent)
+                if tracer is not None
+                else nullcontext()
             )
+            with context:
+                runs, assembled = kernel.drive_stream_group(
+                    config,
+                    detector,
+                    segmenter_config,
+                    [int(stream_indices[pos]) for pos in positions],
+                    rate,
+                    recognizer,
+                    [
+                        recordings[pos * per : (pos + 1) * per]
+                        for pos in positions
+                    ],
+                    [
+                        attack_mask[pos * per : (pos + 1) * per]
+                        for pos in positions
+                    ],
+                    [stream_seqs[pos] for pos in positions],
+                    profile=profile,
+                )
             for run in runs:
                 emit(run)
             return assembled
@@ -627,8 +699,21 @@ def drive_streams(
             rng,
         )
         assembled = time.perf_counter() - started
-        emit(
-            drive_stream(
+        if tracer is not None:
+            tracer.record(
+                "assemble",
+                started,
+                started + assembled,
+                parent_id=dispatch_parent,
+                stream=int(stream_indices[pos]),
+            )
+        context = (
+            tracer.attached(dispatch_parent)
+            if tracer is not None
+            else nullcontext()
+        )
+        with context:
+            run = drive_stream(
                 config,
                 detector,
                 segmenter_config,
@@ -640,7 +725,7 @@ def drive_streams(
                 stream_seqs[pos],
                 timeline=timeline,
             )
-        )
+        emit(run)
         return assembled
 
     if config.workers == 1:
@@ -685,50 +770,63 @@ class FleetSimulator:
         decide cost.
         """
         config = self.config
-        attack_mask, trial_seqs, stream_seqs = fleet_seed_plan(config)
-        trial_rngs = [
-            np.random.default_rng(child) for child in trial_seqs
-        ]
+        with maybe_span(
+            "fleet",
+            streams=config.n_streams,
+            vectorized=config.vectorized,
+        ):
+            attack_mask, trial_seqs, stream_seqs = fleet_seed_plan(
+                config
+            )
+            trial_rngs = [
+                np.random.default_rng(child) for child in trial_seqs
+            ]
 
-        prepare_started = time.perf_counter()
-        recordings, recognizer = synthesize_utterances(
-            config.scenario,
-            config.command,
-            config.distance_m,
-            trial_rngs,
-            attack_mask,
-            voice_seed=config.seed,
-        )
-        prepare_seconds = time.perf_counter() - prepare_started
-        rate = check_fleet_rate(recordings)
+            prepare_started = time.perf_counter()
+            with maybe_span("synthesize", slots=len(trial_rngs)):
+                recordings, recognizer = synthesize_utterances(
+                    config.scenario,
+                    config.command,
+                    config.distance_m,
+                    trial_rngs,
+                    attack_mask,
+                    voice_seed=config.seed,
+                )
+            prepare_seconds = time.perf_counter() - prepare_started
+            rate = check_fleet_rate(recordings)
 
-        raw_runs: list[RawStreamRun] = []
-        started = time.perf_counter()
-        assembled = drive_streams(
-            config,
-            self.detector,
-            self.segmenter_config,
-            range(config.n_streams),
-            rate,
-            recognizer,
-            recordings,
-            attack_mask,
-            stream_seqs,
-            raw_runs.append,
-            profile=profile,
-        )
-        results = [
-            raw.commit()
-            for raw in sorted(raw_runs, key=lambda raw: raw.index)
-        ]
-        # Timeline assembly is workload generation (a deployment
-        # receives its audio); it counts as prepare, not streaming.
-        prepare_seconds += assembled
-        wall_seconds = time.perf_counter() - started - assembled
-        return FleetReport(
-            config=config,
-            sample_rate=rate,
-            streams=results,
-            prepare_seconds=prepare_seconds,
-            wall_seconds=wall_seconds,
-        )
+            raw_runs: list[RawStreamRun] = []
+            started = time.perf_counter()
+            assembled = drive_streams(
+                config,
+                self.detector,
+                self.segmenter_config,
+                range(config.n_streams),
+                rate,
+                recognizer,
+                recordings,
+                attack_mask,
+                stream_seqs,
+                raw_runs.append,
+                profile=profile,
+            )
+            results = [
+                raw.commit()
+                for raw in sorted(raw_runs, key=lambda raw: raw.index)
+            ]
+            # Timeline assembly is workload generation (a deployment
+            # receives its audio); it counts as prepare, not
+            # streaming.
+            prepare_seconds += assembled
+            wall_seconds = time.perf_counter() - started - assembled
+            report = FleetReport(
+                config=config,
+                sample_rate=rate,
+                streams=results,
+                prepare_seconds=prepare_seconds,
+                wall_seconds=wall_seconds,
+            )
+        registry = current_metrics()
+        if registry is not None:
+            report.record_metrics(registry)
+        return report

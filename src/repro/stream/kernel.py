@@ -54,6 +54,7 @@ from repro.defense.traces import analyses_from_psd
 from repro.dsp.framing import frame_count
 from repro.dsp.signals import Signal, SignalBatch
 from repro.errors import DefenseError, StreamError
+from repro.obs.trace import current_tracer
 from repro.sim.pipeline import StageProfile
 from repro.speech.recognizer import KeywordRecognizer
 from repro.stream.chunker import ChunkedStreamBatch
@@ -89,10 +90,24 @@ class _Pending:
 
 
 class _StageClock:
-    """Accumulate per-stage wall time for one kernel invocation."""
+    """Accumulate per-stage wall time for one kernel invocation.
 
-    def __init__(self, enabled: bool) -> None:
-        self.enabled = enabled
+    With a tracer attached every ``start``/``stop`` window is also
+    recorded as one span under ``parent_id`` — the per-cycle
+    resolution the profile's aggregate totals throw away. Disabled
+    (no profile, no tracer), both methods reduce to a predicate
+    check.
+    """
+
+    def __init__(
+        self,
+        enabled: bool,
+        tracer=None,
+        parent_id: int | None = None,
+    ) -> None:
+        self.enabled = enabled or tracer is not None
+        self.tracer = tracer
+        self.parent_id = parent_id
         self.seconds: dict[str, float] = {}
         self._started = 0.0
 
@@ -102,8 +117,16 @@ class _StageClock:
 
     def stop(self, stage: str) -> None:
         if self.enabled:
-            elapsed = time.perf_counter() - self._started
+            ended = time.perf_counter()
+            elapsed = ended - self._started
             self.seconds[stage] = self.seconds.get(stage, 0.0) + elapsed
+            if self.tracer is not None:
+                self.tracer.record(
+                    stage,
+                    self._started,
+                    ended,
+                    parent_id=self.parent_id,
+                )
 
 
 def drive_stream_group(
@@ -156,7 +179,17 @@ def drive_stream_group(
             "the guard needs at least an 8 kHz stream, got "
             f"{rate} Hz"
         )
-    clock = _StageClock(profile is not None)
+    tracer = current_tracer()
+    if tracer is not None:
+        # The group span's id is needed *before* its children are
+        # recorded; allocate it now, record the span itself at the
+        # end with the id and parent pinned here.
+        group_id: int | None = tracer.new_id()
+        group_parent = tracer.current_parent()
+        group_started = time.perf_counter()
+    else:
+        group_id = None
+    clock = _StageClock(profile is not None, tracer, group_id)
 
     assemble_started = time.perf_counter()
     timelines = []
@@ -167,7 +200,16 @@ def drive_stream_group(
         units.append(recordings[0].unit)
     assemble_seconds = time.perf_counter() - assemble_started
     if clock.enabled:
-        clock.seconds["assemble"] = assemble_seconds
+        clock.seconds["assemble"] = (
+            clock.seconds.get("assemble", 0.0) + assemble_seconds
+        )
+    if tracer is not None:
+        tracer.record(
+            "assemble",
+            assemble_started,
+            assemble_started + assemble_seconds,
+            parent_id=group_id,
+        )
     clock.start()
     lens = np.array([t.shape[0] for t in timelines], dtype=np.int64)
     max_len = int(lens.max())
@@ -380,6 +422,32 @@ def drive_stream_group(
     if profile is not None:
         for stage, seconds in clock.seconds.items():
             profile.add(PROFILE_MODE, stage, seconds, n_group)
+
+    if tracer is not None:
+        group_ended = time.perf_counter()
+        # Utterance spans are decision *markers*: zero wall width at
+        # the decide instant, with the stream-time latency (and the
+        # stream that produced them) in the attributes — that is what
+        # the reporter's percentile section reads.
+        for i, (row, p) in enumerate(flat):
+            tracer.record(
+                "utterance",
+                group_ended,
+                group_ended,
+                parent_id=group_id,
+                stream=int(indices[row]),
+                latency_s=(p.emitted_at - p.end) / rate,
+                accepted=bool(recognitions[i].accepted),
+                forced=p.forced,
+            )
+        tracer.record(
+            "stream-group",
+            group_started,
+            group_ended,
+            parent_id=group_parent,
+            span_id=group_id,
+            streams=n_group,
+        )
 
     return [
         RawStreamRun(

@@ -46,13 +46,21 @@ import queue
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from repro.defense.detector import InaudibleVoiceDetector
 from repro.errors import StreamError
+from repro.obs.metrics import current_metrics
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    activate as activate_tracer,
+    current_tracer,
+    maybe_span,
+)
 from repro.sim.engine import partition_evenly
 from repro.stream.fleet import (
     FleetConfig,
@@ -153,6 +161,11 @@ class ShardTask:
     slot_attacks: tuple[tuple[bool, ...], ...]
     detector: InaudibleVoiceDetector
     segmenter_config: SegmenterConfig | None
+    #: Coordinator-side tracing request. Pool workers cannot see the
+    #: coordinator's ambient tracer, so the flag travels with the
+    #: task; a traced shard returns its spans in the result for the
+    #: coordinator to adopt. Never affects stream outcomes.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         lengths = {
@@ -179,6 +192,10 @@ class ShardResult:
     streams: list[StreamResult]
     prepare_seconds: float
     wall_seconds: float
+    #: The shard's trace (empty unless the task asked for one); the
+    #: coordinator re-bases these into its own trace with fresh,
+    #: non-overlapping span ids.
+    spans: list[Span] = field(default_factory=list)
 
 
 def run_shard(task: ShardTask) -> ShardResult:
@@ -187,8 +204,26 @@ def run_shard(task: ShardTask) -> ShardResult:
     Module-level so the process pool pickles it by reference; also
     called inline by the single-shard degenerate case and the
     hypothesis partition property, so every shard count exercises the
-    identical code path.
+    identical code path. With ``task.trace`` set the whole shard runs
+    under a fresh local tracer — a ``shard`` root span with the
+    synthesis, kernel-cycle and utterance spans nested below — and
+    ships its spans home in the result.
     """
+    if not task.trace:
+        return _run_shard_body(task)
+    local = Tracer()
+    with activate_tracer(local):
+        with local.span(
+            "shard",
+            shard=task.shard_index,
+            streams=len(task.stream_indices),
+        ):
+            result = _run_shard_body(task)
+    result.spans = local.spans
+    return result
+
+
+def _run_shard_body(task: ShardTask) -> ShardResult:
     config = task.config
     rng_children = [
         np.random.default_rng(seq)
@@ -200,14 +235,15 @@ def run_shard(task: ShardTask) -> ShardResult:
         dtype=bool,
     )
     prepare_started = time.perf_counter()
-    recordings, recognizer = synthesize_utterances(
-        config.scenario,
-        config.command,
-        config.distance_m,
-        rng_children,
-        attack_mask,
-        voice_seed=config.seed,
-    )
+    with maybe_span("synthesize", slots=len(rng_children)):
+        recordings, recognizer = synthesize_utterances(
+            config.scenario,
+            config.command,
+            config.distance_m,
+            rng_children,
+            attack_mask,
+            voice_seed=config.seed,
+        )
     prepare_seconds = time.perf_counter() - prepare_started
     rate = check_fleet_rate(recordings)
 
@@ -323,6 +359,7 @@ def plan_shards(
     config: FleetConfig,
     segmenter_config: SegmenterConfig | None = None,
     partitions: Sequence[Sequence[int]] | None = None,
+    trace: bool = False,
 ) -> list[ShardTask]:
     """Deterministic shard tasks for one fleet config.
 
@@ -361,6 +398,7 @@ def plan_shards(
                 ),
                 detector=detector,
                 segmenter_config=segmenter_config,
+                trace=trace,
             )
         )
     return tasks
@@ -399,20 +437,44 @@ class ShardedFleetSimulator:
     def run(self) -> FleetReport:
         """Plan, fan out, drain and merge the whole fleet."""
         config = self.config
+        tracer = current_tracer()
         tasks = plan_shards(
-            self.detector, config, self.segmenter_config
+            self.detector,
+            config,
+            self.segmenter_config,
+            trace=tracer is not None,
         )
         accumulator = ShardAccumulator(config.n_streams)
-        if len(tasks) == 1:
-            accumulator.add(run_shard(tasks[0]))
-            return accumulator.report(config)
-        max_workers = min(len(tasks), os.cpu_count() or 1)
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = [
-                pool.submit(run_shard, task) for task in tasks
-            ]
-            # Coordinator-side commit draining: fold each shard in
-            # as it finishes rather than barriering on the full list.
-            for future in as_completed(futures):
-                accumulator.add(future.result())
-        return accumulator.report(config)
+
+        def fold(result: ShardResult, parent_id: int | None) -> None:
+            accumulator.add(result)
+            if tracer is not None and result.spans:
+                tracer.adopt(result.spans, parent_id=parent_id)
+                result.spans = []
+
+        with maybe_span(
+            "sharded-fleet",
+            shards=len(tasks),
+            streams=config.n_streams,
+        ) as fleet_span:
+            if len(tasks) == 1:
+                fold(run_shard(tasks[0]), fleet_span)
+            else:
+                max_workers = min(len(tasks), os.cpu_count() or 1)
+                with ProcessPoolExecutor(
+                    max_workers=max_workers
+                ) as pool:
+                    futures = [
+                        pool.submit(run_shard, task)
+                        for task in tasks
+                    ]
+                    # Coordinator-side commit draining: fold each
+                    # shard in as it finishes rather than barriering
+                    # on the full list.
+                    for future in as_completed(futures):
+                        fold(future.result(), fleet_span)
+            report = accumulator.report(config)
+        registry = current_metrics()
+        if registry is not None:
+            report.record_metrics(registry)
+        return report

@@ -7,6 +7,8 @@ properties the paper reports — these are the assertions that make the
 reproduction claims executable.
 """
 
+import json
+
 import pytest
 
 from repro.experiments import ALL_EXPERIMENTS
@@ -247,6 +249,34 @@ class TestCli:
         assert main(["F1", "--scenario", "living_room"]) == 0
         out = capsys.readouterr().out
         assert "scenario: living_room" in out
+
+    def test_trace_and_metrics_flags(self, tmp_path, capsys):
+        """--trace/--metrics-out write artifacts and leave stdout
+        byte-identical to the uninstrumented run (zero digest
+        drift, checked here on the cheapest engine-backed
+        experiment and by CI's observability job on S1)."""
+        from repro.obs.trace import read_trace
+
+        assert main(["F3", "--jobs", "1"]) == 0
+        untraced = capsys.readouterr().out
+        trace_path = tmp_path / "trace.jsonl"
+        metrics_path = tmp_path / "metrics.json"
+        assert main([
+            "F3", "--jobs", "1",
+            "--trace", str(trace_path),
+            "--metrics-out", str(metrics_path),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == untraced
+        assert "trace:" in captured.err
+        spans = read_trace(trace_path)
+        experiment = [s for s in spans if s.name == "experiment"]
+        assert experiment[0].attrs["experiment"] == "F3"
+        # Engine fan-out appears in both collectors: trial-batch
+        # spans adopted under the experiment, and engine counters.
+        assert any(s.name == "trial-batch" for s in spans)
+        payload = json.loads(metrics_path.read_text())
+        assert payload["metrics"]["engine.trials"]["value"] > 0
 
     def test_list_scenarios_flag(self, capsys):
         from repro.sim.spec import scenario_names
